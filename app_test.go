@@ -1,0 +1,190 @@
+package gmap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+func TestAppTraceMultiKernel(t *testing.T) {
+	for _, c := range []struct {
+		name     string
+		launches int
+		kernels  int // distinct
+	}{
+		{"kmeans", 3, 1},
+		{"bp", 2, 2},
+		{"srad", 2, 2},
+		{"nn", 1, 1}, // single-kernel fallback
+	} {
+		spec, _ := workloads.ByName(c.name)
+		app, err := spec.AppTrace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(app.Launches) != c.launches {
+			t.Errorf("%s: %d launches, want %d", c.name, len(app.Launches), c.launches)
+		}
+		distinct := map[string]bool{}
+		for _, k := range app.Launches {
+			distinct[k.Name] = true
+		}
+		if len(distinct) != c.kernels {
+			t.Errorf("%s: %d distinct kernels (%v), want %d",
+				c.name, len(distinct), app.KernelNames(), c.kernels)
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestAppProfileDeduplicatesKernels(t *testing.T) {
+	spec, _ := workloads.ByName("kmeans")
+	app, err := spec.AppTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(app, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Kernels) != 1 {
+		t.Errorf("kmeans app profile holds %d kernel profiles, want 1 (3 launches of one kernel)", len(prof.Kernels))
+	}
+	if len(prof.Launches) != 3 {
+		t.Errorf("launch sequence length = %d", len(prof.Launches))
+	}
+	// The merged profile regenerates one launch's warp population.
+	if prof.Kernels[0].Warps != 16 {
+		t.Errorf("per-launch warp count = %d, want 16", prof.Kernels[0].Warps)
+	}
+}
+
+func TestAppProfileJSONRoundTrip(t *testing.T) {
+	spec, _ := workloads.ByName("srad")
+	app, _ := spec.AppTrace(1)
+	prof, err := ProfileApp(app, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := profiler.ReadAppJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Kernels) != len(prof.Kernels) || len(got.Launches) != len(prof.Launches) {
+		t.Error("app profile round trip lost structure")
+	}
+}
+
+func TestAppCloneAccuracy(t *testing.T) {
+	// The application clone must track the original including cross-launch
+	// cache reuse: kmeans' second and third launches re-touch the first's
+	// feature array, which the L2 retains across launches.
+	for _, name := range []string{"kmeans", "bp"} {
+		w, err := PrepareApp(name, 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultSimConfig()
+		orig, err := w.SimulateOriginal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone, err := w.SimulateProxy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(orig.L1MissRate() - clone.L1MissRate()); d > 0.12 {
+			t.Errorf("%s app: L1 orig %.3f vs clone %.3f (|Δ| %.3f)",
+				name, orig.L1MissRate(), clone.L1MissRate(), d)
+		}
+		if d := math.Abs(orig.L2MissRate() - clone.L2MissRate()); d > 0.20 {
+			t.Errorf("%s app: L2 orig %.3f vs clone %.3f (|Δ| %.3f)",
+				name, orig.L2MissRate(), clone.L2MissRate(), d)
+		}
+	}
+}
+
+func TestAppCrossLaunchReuse(t *testing.T) {
+	// In the kmeans application the 2nd/3rd launches revisit the feature
+	// array: with persistent caches the app's overall L2 miss rate must be
+	// well below a single launch's.
+	spec, _ := workloads.ByName("kmeans")
+	single, err := spec.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	sm, err := SimulateTrace(single, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := PrepareApp("kmeans", 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := w.SimulateOriginal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.L2MissRate() >= sm.L2MissRate() {
+		t.Errorf("app L2 miss %.3f not below single-launch %.3f (cross-launch reuse missing)",
+			am.L2MissRate(), sm.L2MissRate())
+	}
+}
+
+func TestAppProxyMiniaturized(t *testing.T) {
+	w, err := PrepareApp("srad", 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origReqs int
+	for _, l := range w.Launches {
+		for _, warp := range l {
+			origReqs += len(warp.Requests)
+		}
+	}
+	ratio := float64(origReqs) / float64(w.Proxy.Requests)
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Errorf("app miniaturization ratio = %.2f (%d -> %d)", ratio, origReqs, w.Proxy.Requests)
+	}
+	if len(w.Proxy.Launches) != 2 {
+		t.Errorf("proxy launches = %d", len(w.Proxy.Launches))
+	}
+}
+
+func TestAppRelaunchesDiffer(t *testing.T) {
+	// Re-launches of the same kernel must be fresh samples, not copies.
+	w, err := PrepareApp("kmeans", 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.Proxy.Launches[0].Warps
+	b := w.Proxy.Launches[1].Warps
+	same := true
+	for wi := range a {
+		if len(a[wi].Requests) != len(b[wi].Requests) {
+			same = false
+			break
+		}
+		for j := range a[wi].Requests {
+			if a[wi].Requests[j].Addr != b[wi].Requests[j].Addr {
+				same = false
+				break
+			}
+		}
+	}
+	// Identical launches would mean the per-launch seeds are not applied;
+	// statistically the streams should differ somewhere.
+	if same {
+		t.Error("re-launched kernel clones are bitwise identical")
+	}
+}

@@ -1,0 +1,200 @@
+package gmap
+
+// One benchmark per table and figure of the paper's evaluation (§5). Each
+// bench regenerates its experiment on a reduced benchmark subset so that
+// `go test -bench=.` stays tractable on a laptop, and reports the paper's
+// accuracy metrics (error in percentage points or percent, and Pearson
+// correlation) alongside the usual ns/op. The full 18-benchmark evaluation
+// is produced by `go run ./cmd/gmap-eval -exp all`.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/uteda/gmap/internal/eval"
+)
+
+// benchOpts keeps benchmark iterations affordable: three representative
+// workloads (one high-reuse regular, one streaming, one irregular).
+func benchOpts() eval.Options {
+	return eval.Options{
+		Benchmarks:  []string{"kmeans", "scalarprod", "hotspot"},
+		Scale:       1,
+		ScaleFactor: 4,
+		Seed:        1,
+		Cores:       8,
+	}
+}
+
+func reportFigure(b *testing.B, f *eval.FigureResult) {
+	b.Helper()
+	b.ReportMetric(f.AvgError, "err")
+	b.ReportMetric(f.AvgCorrelation, "corr")
+}
+
+// BenchmarkTable1Profile regenerates Table 1: profiling the ten
+// characterized benchmarks and extracting their dominant instruction,
+// stride and reuse rows.
+func BenchmarkTable1Profile(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := opts.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig6aL1Sweep regenerates Figure 6a: original-versus-proxy L1
+// miss rates across the 30-configuration L1 sweep.
+func BenchmarkFig6aL1Sweep(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
+// BenchmarkFig6bL2Sweep regenerates Figure 6b: the 30-configuration L2
+// sweep.
+func BenchmarkFig6bL2Sweep(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
+// BenchmarkFig6cL1Prefetch regenerates Figure 6c: the 72-configuration L1
+// stride-prefetcher sweep.
+func BenchmarkFig6cL1Prefetch(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
+// BenchmarkFig6dL2Prefetch regenerates Figure 6d: the 96-configuration L2
+// stream-prefetcher sweep.
+func BenchmarkFig6dL2Prefetch(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
+// BenchmarkFig6eScheduling regenerates Figure 6e: L1 miss-rate cloning
+// under LRR and GTO warp scheduling (the proxy approximating GTO through
+// SchedPself).
+func BenchmarkFig6eScheduling(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6e()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.LRR.AvgError, "lrr-err")
+		b.ReportMetric(f.GTO.AvgError, "gto-err")
+	}
+}
+
+// BenchmarkFig7DRAM regenerates Figure 7: DRAM row-buffer locality, queue
+// length and latency across the 11 GDDR5 configurations.
+func BenchmarkFig7DRAM(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.RBL.AvgError, "rbl-err")
+		b.ReportMetric(f.ReadLat.AvgError, "rdlat-err")
+	}
+}
+
+// BenchmarkFig8Miniaturization regenerates Figure 8: cloning accuracy and
+// simulation speedup across 1x-16x trace reduction.
+func BenchmarkFig8Miniaturization(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"kmeans", "scalarprod"}
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Points[len(f.Points)-1]
+		b.ReportMetric(last.Accuracy, "acc16x")
+		b.ReportMetric(last.Speedup, "speedup16x")
+	}
+}
+
+// BenchmarkTable2Report renders the Table 2 configuration (trivially fast;
+// included so every table has a bench target).
+func BenchmarkTable2Report(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if err := opts.Run(io.Discard, "table2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline measures the raw profile-generate cost for one
+// benchmark, the per-workload overhead every experiment pays.
+func BenchmarkPipeline(b *testing.B) {
+	tr, err := BenchmarkTrace("bp", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ProfileTrace(tr, DefaultProfileConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Generate(p, GenerateOptions{Seed: 1, ScaleFactor: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures memory-hierarchy simulation speed
+// in requests/second — the quantity Figure 8's speedup axis divides.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := BenchmarkTrace("blk", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warps := Coalesce(tr, 128)
+	var requests int
+	for _, w := range warps {
+		requests += len(w.Requests)
+	}
+	cfg := DefaultSimConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := SimulateWarps(warps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Requests)*float64(i+1)/b.Elapsed().Seconds(), "req/s")
+	}
+	_ = requests
+}

@@ -1,0 +1,69 @@
+// Command gmap-eval regenerates the tables and figures of the paper's
+// evaluation (§5): Table 1 (application memory patterns), Table 2 (system
+// configuration), Figures 6a-6e (cache, prefetcher and scheduler sweeps),
+// Figure 7 (DRAM exploration) and Figure 8 (miniaturization).
+//
+// Usage:
+//
+//	gmap-eval -exp fig6a
+//	gmap-eval -exp all -out results.txt
+//	gmap-eval -exp fig7 -benchmarks aes,kmeans,bfs -cores 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/uteda/gmap"
+	"github.com/uteda/gmap/internal/eval"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment id: "+strings.Join(eval.ExperimentIDs(), ", ")+" or all")
+		benchmarks  = flag.String("benchmarks", "", "comma-separated benchmark subset (default all 18)")
+		scale       = flag.Int("scale", 1, "workload scale")
+		scaleFactor = flag.Float64("scale-factor", 4, "proxy miniaturization factor")
+		cores       = flag.Int("cores", 0, "simulated SM count (0 = Table 2's 15)")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		out         = flag.String("out", "", "write the report to a file (default stdout)")
+		quiet       = flag.Bool("quiet", false, "suppress per-benchmark progress")
+	)
+	flag.Parse()
+
+	opts := gmap.ExperimentOptions{
+		Scale:       *scale,
+		ScaleFactor: *scaleFactor,
+		Cores:       *cores,
+		Seed:        *seed,
+	}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if !*quiet {
+		opts.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := gmap.Experiments(w, *exp, opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmap-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command gmap-generate expands a G-MAP statistical profile into a
+// miniaturized proxy (clone) trace, optionally obfuscating the address
+// space for proprietary-workload sharing.
+//
+// Usage:
+//
+//	gmap-generate -profile app.profile.json -out app.proxy.wtrc -scale-factor 4
+//	gmap-generate -profile app.profile.json -obfuscate -key 0xdeadbeef -out clone.wtrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/uteda/gmap"
+)
+
+func main() {
+	var (
+		profilePath = flag.String("profile", "", "input profile JSON (required)")
+		out         = flag.String("out", "", "output proxy warp-trace path (default stdout)")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		scaleFactor = flag.Float64("scale-factor", 4, "miniaturization factor (1 = full size; values in (0,1) scale the workload up)")
+		obfuscate   = flag.Bool("obfuscate", false, "replace base addresses with synthetic ones")
+		key         = flag.Uint64("key", 0, "obfuscation key (with -obfuscate)")
+	)
+	flag.Parse()
+	if *profilePath == "" {
+		fatal(fmt.Errorf("-profile is required"))
+	}
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := gmap.ReadProfile(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	proxy, err := gmap.Generate(profile, gmap.GenerateOptions{
+		Seed:           *seed,
+		ScaleFactor:    *scaleFactor,
+		Obfuscate:      *obfuscate,
+		ObfuscationKey: *key,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := gmap.WriteProxy(w, proxy); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s proxy: %d warps, %d requests (original: %d requests, %.1fx reduction)\n",
+		proxy.Name, len(proxy.Warps), proxy.Requests, profile.TotalRequests,
+		float64(profile.TotalRequests)/float64(max(proxy.Requests, 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmap-generate:", err)
+	os.Exit(1)
+}

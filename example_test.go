@@ -1,0 +1,96 @@
+package gmap_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/uteda/gmap"
+)
+
+// The canonical three-step flow: profile, generate, simulate.
+func Example() {
+	tr, err := gmap.BenchmarkTrace("nn", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := gmap.ProfileTrace(tr, gmap.DefaultProfileConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy, err := gmap.Generate(profile, gmap.GenerateOptions{Seed: 1, ScaleFactor: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gmap.DefaultSimConfig()
+	orig, err := gmap.SimulateTrace(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clone, err := gmap.SimulateProxy(proxy, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// nn streams over distinct lines: both sides must miss everywhere.
+	fmt.Printf("L1 miss: original %.2f, clone %.2f\n", orig.L1MissRate(), clone.L1MissRate())
+	// Output:
+	// L1 miss: original 1.00, clone 1.00
+}
+
+// Profiles are small JSON documents safe to share instead of the trace.
+func ExampleProfileTrace() {
+	tr, err := gmap.BenchmarkTrace("kmeans", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := gmap.ProfileTrace(tr, gmap.DefaultProfileConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d static instructions, %d dominant paths\n",
+		len(profile.Insts), len(profile.Profiles))
+	// Output:
+	// 2 static instructions, 1 dominant paths
+}
+
+// Obfuscation relocates the clone's address space while preserving its
+// locality structure.
+func ExampleGenerate_obfuscated() {
+	tr, err := gmap.BenchmarkTrace("nn", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := gmap.ProfileTrace(tr, gmap.DefaultProfileConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clone, err := gmap.Generate(profile, gmap.GenerateOptions{
+		Seed: 1, ScaleFactor: 4, Obfuscate: true, ObfuscationKey: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clone of %s with %d warps\n", clone.Name, len(clone.Warps))
+	// Output:
+	// clone of nn with 128 warps
+}
+
+// Multi-kernel applications clone launch by launch, with cache state
+// persisting across launches during simulation.
+func ExamplePrepareApp() {
+	w, err := gmap.PrepareApp("srad", 1, gmap.DefaultProfileConfig(), gmap.DefaultGenerateOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d launches, %d distinct kernels\n",
+		w.Name, len(w.Profile.Launches), len(w.Profile.Kernels))
+	// Output:
+	// srad: 2 launches, 2 distinct kernels
+}
+
+// Benchmarks lists the built-in synthetic suite.
+func ExampleBenchmarks() {
+	names := gmap.Benchmarks()
+	fmt.Println(len(names), "benchmarks, first:", names[0])
+	// Output:
+	// 18 benchmarks, first: aes
+}

@@ -1,0 +1,58 @@
+// Trace miniaturization trade-off (the Figure 8 scenario).
+//
+// The same benchmark is cloned at 1x..16x reduction; for each factor the
+// example reports the clone's size, its L1 miss-rate accuracy against the
+// original, and the measured simulation speedup. Accuracy degrades
+// gracefully while simulation time falls almost linearly — the paper's
+// law-of-large-numbers argument in action.
+//
+// Run with: go run ./examples/miniaturize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/uteda/gmap"
+)
+
+func main() {
+	const benchmark = "bp"
+	tr, err := gmap.BenchmarkTrace(benchmark, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := gmap.ProfileTrace(tr, gmap.DefaultProfileConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gmap.DefaultSimConfig()
+
+	t0 := time.Now()
+	orig, err := gmap.SimulateTrace(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	origTime := time.Since(t0)
+	fmt.Printf("original %s: %d requests, L1 miss %.4f, simulated in %v\n\n",
+		benchmark, orig.Requests, orig.L1MissRate(), origTime.Round(time.Millisecond))
+
+	fmt.Printf("%9s %10s %12s %12s %10s\n", "reduction", "requests", "L1 miss", "error(pp)", "speedup")
+	for _, factor := range []float64{1, 2, 4, 8, 16} {
+		proxy, err := gmap.Generate(profile, gmap.GenerateOptions{Seed: 1, ScaleFactor: factor})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1 := time.Now()
+		clone, err := gmap.SimulateProxy(proxy, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cloneTime := time.Since(t1)
+		errPP := (clone.L1MissRate() - orig.L1MissRate()) * 100
+		speedup := float64(origTime) / float64(cloneTime)
+		fmt.Printf("%8.0fx %10d %12.4f %+12.2f %9.1fx\n",
+			factor, clone.Requests, clone.L1MissRate(), errPP, speedup)
+	}
+}

@@ -1,0 +1,219 @@
+package gmap
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	tr, err := BenchmarkTrace("bp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileTrace(tr, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := Generate(p, GenerateOptions{Seed: 1, ScaleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy is validated on the paper's Table 2 system (15 SMs): the
+	// clone's warp population is sized against that residency.
+	cfg := DefaultSimConfig()
+	orig, err := SimulateTrace(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := SimulateProxy(proxy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(orig.L1MissRate() - clone.L1MissRate()); d > 0.12 {
+		t.Errorf("clone L1 miss rate off by %.3f (orig %.3f, clone %.3f)",
+			d, orig.L1MissRate(), clone.L1MissRate())
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 18 {
+		t.Fatalf("have %d benchmarks, want 18", len(names))
+	}
+	if _, err := BenchmarkTrace("nonesuch", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	tr, err := BenchmarkTrace("nn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumAccesses() != tr.NumAccesses() || got.Name != tr.Name {
+		t.Error("trace round trip lost data")
+	}
+}
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	tr, _ := BenchmarkTrace("nn", 1)
+	p, err := ProfileTrace(tr, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRequests != p.TotalRequests || len(got.Insts) != len(p.Insts) {
+		t.Error("profile round trip lost data")
+	}
+}
+
+func TestProxySerializationRoundTrip(t *testing.T) {
+	w, err := Prepare("nn", 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProxy(&buf, w.Proxy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProxy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != w.Proxy.Requests || len(got.Warps) != len(w.Proxy.Warps) {
+		t.Errorf("proxy round trip: %d/%d warps, %d/%d requests",
+			len(got.Warps), len(w.Proxy.Warps), got.Requests, w.Proxy.Requests)
+	}
+	// A deserialized proxy must simulate identically.
+	cfg := DefaultSimConfig()
+	cfg.NumCores = 2
+	a, err := SimulateProxy(w.Proxy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateProxy(got, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L1MissRate() != b.L1MissRate() || a.Cycles != b.Cycles {
+		t.Error("deserialized proxy behaves differently")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	tr, _ := BenchmarkTrace("nn", 1)
+	warps := Coalesce(tr, 0)
+	if len(warps) == 0 {
+		t.Fatal("no warps")
+	}
+	total := 0
+	for _, w := range warps {
+		total += len(w.Requests)
+	}
+	if total == 0 || total >= tr.NumAccesses() {
+		t.Errorf("coalescing produced %d requests from %d accesses", total, tr.NumAccesses())
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	var buf bytes.Buffer
+	opts := ExperimentOptions{Benchmarks: []string{"nn"}, Cores: 2}
+	if err := Experiments(&buf, "table2", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "L1 Cache") {
+		t.Errorf("table2 output: %q", buf.String())
+	}
+}
+
+func TestObfuscatedSharingFlow(t *testing.T) {
+	// The proprietary-workload story: profile in-house, generate an
+	// obfuscated clone, ship only the clone.
+	tr, _ := BenchmarkTrace("kmeans", 1)
+	p, err := ProfileTrace(tr, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := Generate(p, GenerateOptions{Seed: 7, ScaleFactor: 4, Obfuscate: true, ObfuscationKey: 0xfeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No proxy address may coincide with an original base address region.
+	origBases := map[uint64]bool{}
+	for _, inst := range p.Insts {
+		origBases[inst.Base&^0xfffff] = true
+	}
+	overlap := 0
+	total := 0
+	for _, w := range proxy.Warps {
+		for _, r := range w.Requests {
+			total++
+			if origBases[r.Addr&^0xfffff] {
+				overlap++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty proxy")
+	}
+	if frac := float64(overlap) / float64(total); frac > 0.05 {
+		t.Errorf("obfuscated clone still overlaps original regions: %.2f", frac)
+	}
+}
+
+func TestSimulateLaunchesFacade(t *testing.T) {
+	w, err := PrepareApp("bp", 1, DefaultProfileConfig(), GenerateOptions{Seed: 1, ScaleFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	m, err := SimulateLaunches(w.Proxy.WarpLaunches(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerLaunch) != 2 {
+		t.Fatalf("PerLaunch = %d entries, want 2", len(m.PerLaunch))
+	}
+	var sum uint64
+	for _, l := range m.PerLaunch {
+		sum += l.Requests
+	}
+	if sum != m.Requests {
+		t.Errorf("per-launch requests %d != total %d", sum, m.Requests)
+	}
+}
+
+func TestScaleUpFacade(t *testing.T) {
+	tr, err := BenchmarkTrace("blk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileTrace(tr, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Generate(p, GenerateOptions{Seed: 1, ScaleFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(up.Requests) <= p.TotalRequests {
+		t.Errorf("scale-up did not grow: %d -> %d", p.TotalRequests, up.Requests)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/uteda/gmap
+
+go 1.22

@@ -1,0 +1,112 @@
+package cache
+
+import "fmt"
+
+// Banked is an address-interleaved multi-bank cache, used for the shared
+// L2 (Table 2: 1MB in 8 banks). Consecutive lines map to consecutive
+// banks; each bank is an independent set-associative slice holding an
+// equal share of the capacity.
+type Banked struct {
+	banks    []*Cache
+	bankMask uint64
+	bankBits uint
+	lineBits uint
+}
+
+// sliceAddr strips the bank-selection bits out of the line number so the
+// slice indexes its full set array: without this, every address routed to
+// a bank shares the low line bits and only 1/numBanks of the slice's sets
+// are ever used.
+func (b *Banked) sliceAddr(addr uint64) uint64 {
+	line := addr >> b.lineBits
+	return (line>>b.bankBits)<<b.lineBits | (addr & ((1 << b.lineBits) - 1))
+}
+
+// unsliceAddr maps a slice-space line address (e.g. a victim reported by
+// the bank) back to the real address space.
+func (b *Banked) unsliceAddr(addr uint64, bank int) uint64 {
+	line := addr >> b.lineBits
+	return (line<<b.bankBits | uint64(bank)) << b.lineBits
+}
+
+// NewBanked splits cfg.SizeBytes evenly over numBanks slices. numBanks
+// must be a power of two.
+func NewBanked(cfg Config, numBanks int) (*Banked, error) {
+	if numBanks <= 0 || numBanks&(numBanks-1) != 0 {
+		return nil, fmt.Errorf("cache: bank count %d not a positive power of two", numBanks)
+	}
+	if cfg.SizeBytes%numBanks != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by %d banks", cfg.SizeBytes, numBanks)
+	}
+	sliceCfg := cfg
+	sliceCfg.SizeBytes = cfg.SizeBytes / numBanks
+	b := &Banked{
+		banks:    make([]*Cache, numBanks),
+		bankMask: uint64(numBanks - 1),
+	}
+	for i := range b.banks {
+		sliceCfg.Seed = cfg.Seed + uint64(i)
+		c, err := New(sliceCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache: bank %d: %w", i, err)
+		}
+		b.banks[i] = c
+	}
+	b.lineBits = b.banks[0].lineBits
+	for n := numBanks; n > 1; n >>= 1 {
+		b.bankBits++
+	}
+	return b, nil
+}
+
+// BankOf returns the bank index servicing addr.
+func (b *Banked) BankOf(addr uint64) int {
+	return int((addr >> b.lineBits) & b.bankMask)
+}
+
+// Access routes a demand access to its bank.
+func (b *Banked) Access(addr uint64, write bool) Result {
+	bank := b.BankOf(addr)
+	res := b.banks[bank].Access(b.sliceAddr(addr), write)
+	if res.Evicted {
+		res.EvictedAddr = b.unsliceAddr(res.EvictedAddr, bank)
+	}
+	return res
+}
+
+// Probe routes a presence check to its bank.
+func (b *Banked) Probe(addr uint64) bool {
+	return b.banks[b.BankOf(addr)].Probe(b.sliceAddr(addr))
+}
+
+// Fill routes a prefetch fill to its bank.
+func (b *Banked) Fill(addr uint64) Result {
+	bank := b.BankOf(addr)
+	res := b.banks[bank].Fill(b.sliceAddr(addr))
+	if res.Evicted {
+		res.EvictedAddr = b.unsliceAddr(res.EvictedAddr, bank)
+	}
+	return res
+}
+
+// NumBanks returns the bank count.
+func (b *Banked) NumBanks() int { return len(b.banks) }
+
+// LineAddr aligns addr to the line size.
+func (b *Banked) LineAddr(addr uint64) uint64 { return b.banks[0].LineAddr(addr) }
+
+// Stats returns the aggregate statistics over all banks.
+func (b *Banked) Stats() Stats {
+	var s Stats
+	for _, bank := range b.banks {
+		s.Add(bank.Stats)
+	}
+	return s
+}
+
+// Reset clears every bank.
+func (b *Banked) Reset() {
+	for _, bank := range b.banks {
+		bank.Reset()
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+// MSHRFile models the miss-status holding registers of one core: a bounded
+// set of outstanding line misses with secondary-miss merging. When the file
+// is full the core must stall before issuing further misses — a first-order
+// GPU bottleneck the paper's Table 2 configuration fixes at 64 entries per
+// core.
+type MSHRFile struct {
+	capacity int
+	pending  map[uint64]int // line address -> merged request count
+	// Stats
+	Allocations uint64 // primary misses that claimed an entry
+	Merges      uint64 // secondary misses merged into an existing entry
+	StallEvents uint64 // allocation attempts rejected because full
+}
+
+// NewMSHRFile returns a file with the given entry capacity; capacity <= 0
+// means unbounded (no stalls).
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{capacity: capacity, pending: make(map[uint64]int)}
+}
+
+// Lookup reports whether a miss on lineAddr is already outstanding.
+func (m *MSHRFile) Lookup(lineAddr uint64) bool {
+	_, ok := m.pending[lineAddr]
+	return ok
+}
+
+// Allocate claims an entry for a miss on lineAddr. merged is true when the
+// miss joined an already outstanding entry; ok is false when the file is
+// full and the request must stall.
+func (m *MSHRFile) Allocate(lineAddr uint64) (merged, ok bool) {
+	if n, exists := m.pending[lineAddr]; exists {
+		m.pending[lineAddr] = n + 1
+		m.Merges++
+		return true, true
+	}
+	if m.capacity > 0 && len(m.pending) >= m.capacity {
+		m.StallEvents++
+		return false, false
+	}
+	m.pending[lineAddr] = 1
+	m.Allocations++
+	return false, true
+}
+
+// Release completes the outstanding miss on lineAddr, freeing its entry.
+// Releasing an unknown line is a no-op.
+func (m *MSHRFile) Release(lineAddr uint64) {
+	delete(m.pending, lineAddr)
+}
+
+// InFlight returns the number of outstanding entries.
+func (m *MSHRFile) InFlight() int { return len(m.pending) }
+
+// Full reports whether a new primary miss would stall.
+func (m *MSHRFile) Full() bool {
+	return m.capacity > 0 && len(m.pending) >= m.capacity
+}

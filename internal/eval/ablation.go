@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"github.com/uteda/gmap/internal/core"
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/stats"
+	"github.com/uteda/gmap/internal/synth"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+// AblationVariant is one generator configuration in the ablation study.
+type AblationVariant struct {
+	Name string
+	Abl  synth.Ablation
+}
+
+// AblationVariants returns the study's generator variants: the full
+// generator, each mechanism removed in isolation, and the bare paper
+// algorithm with every extension removed.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full", Abl: synth.Ablation{}},
+		{Name: "-windows", Abl: synth.Ablation{NoWindows: true}},
+		{Name: "-templates", Abl: synth.Ablation{NoTemplates: true}},
+		{Name: "-runlengths", Abl: synth.Ablation{NoRunLengths: true}},
+		{Name: "-reuse", Abl: synth.Ablation{NoReuse: true}},
+		{Name: "bare-alg1", Abl: synth.Ablation{NoWindows: true, NoTemplates: true, NoRunLengths: true}},
+	}
+}
+
+// AblationRow is one benchmark's L1/L2 miss-rate error (percentage
+// points, default configuration) under each generator variant.
+type AblationRow struct {
+	Benchmark string
+	// L1Err and L2Err are parallel to AblationVariants().
+	L1Err []float64
+	L2Err []float64
+}
+
+// AblationResult carries the study.
+type AblationResult struct {
+	Variants []string
+	Rows     []AblationRow
+	// AvgL1 and AvgL2 are per-variant averages over benchmarks.
+	AvgL1, AvgL2 []float64
+	Elapsed      time.Duration
+}
+
+// Ablation measures how much each beyond-paper generation mechanism
+// (footprint windows, per-cluster templates, stride run lengths, reuse
+// replay) contributes to clone accuracy, by disabling them one at a time
+// (DESIGN.md §5).
+func (o *Options) Ablation() (*AblationResult, error) {
+	o.fillDefaults()
+	start := time.Now()
+	variants := AblationVariants()
+	res := &AblationResult{
+		AvgL1: make([]float64, len(variants)),
+		AvgL2: make([]float64, len(variants)),
+	}
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.Name)
+	}
+	// The study sweeps Figure 6a's 30 L1 configurations per variant. To
+	// keep the cost tractable it defaults to a representative subset
+	// spanning the behaviour classes (cyclic high-reuse, overlapping
+	// sweeps, multi-phase, irregular) unless the caller chose benchmarks.
+	benchmarks := o.Benchmarks
+	if len(benchmarks) == len(workloads.Names()) {
+		benchmarks = []string{"kmeans", "cp", "bp", "heartwall", "srad", "bfs"}
+	}
+	gens := L1Sweep(o.Cores)
+	for _, name := range benchmarks {
+		base, err := core.Prepare(name, o.Scale, profiler.DefaultConfig(),
+			synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor})
+		if err != nil {
+			return nil, err
+		}
+		// The original side is variant-independent: simulate the sweep once.
+		origL1 := make([]float64, len(gens))
+		origL2 := make([]float64, len(gens))
+		for gi, g := range gens {
+			cfg, err := g.Make()
+			if err != nil {
+				return nil, err
+			}
+			om, err := base.SimulateOriginal(cfg)
+			if err != nil {
+				return nil, err
+			}
+			origL1[gi], origL2[gi] = om.L1MissRate(), om.L2MissRate()
+		}
+		row := AblationRow{Benchmark: name}
+		for vi, v := range variants {
+			proxy, err := synth.Generate(base.Profile, synth.Options{
+				Seed: o.Seed, ScaleFactor: o.ScaleFactor, Ablation: v.Abl,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("eval ablation %s/%s: %w", name, v.Name, err)
+			}
+			w := *base
+			w.Proxy = proxy
+			var l1, l2 float64
+			for gi, g := range gens {
+				cfg, err := g.Make()
+				if err != nil {
+					return nil, err
+				}
+				pm, err := w.SimulateProxy(cfg)
+				if err != nil {
+					return nil, err
+				}
+				l1 += stats.AbsError(origL1[gi], pm.L1MissRate()) / float64(len(gens))
+				l2 += stats.AbsError(origL2[gi], pm.L2MissRate()) / float64(len(gens))
+			}
+			row.L1Err = append(row.L1Err, l1)
+			row.L2Err = append(row.L2Err, l2)
+			res.AvgL1[vi] += l1 / float64(len(benchmarks))
+			res.AvgL2[vi] += l2 / float64(len(benchmarks))
+		}
+		res.Rows = append(res.Rows, row)
+		o.logf("ablation %-12s full %5.2fpp  bare %5.2fpp (L1, 30-config sweep)",
+			name, row.L1Err[0], row.L1Err[len(row.L1Err)-1])
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// WriteAblation renders the study.
+func WriteAblation(w io.Writer, r *AblationResult) error {
+	fmt.Fprintln(w, "== ablation: contribution of each generation mechanism ==")
+	fmt.Fprintln(w, "L1 miss-rate error (percentage points), averaged over the 30-configuration L1 sweep:")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, v := range r.Variants {
+		fmt.Fprintf(tw, "\t%s", v)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s", row.Benchmark)
+		for _, e := range row.L1Err {
+			fmt.Fprintf(tw, "\t%.2f", e)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "AVERAGE")
+	for _, e := range r.AvgL1 {
+		fmt.Fprintf(tw, "\t%.2f", e)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "AVERAGE L2")
+	for _, e := range r.AvgL2 {
+		fmt.Fprintf(tw, "\t%.2f", e)
+	}
+	fmt.Fprintln(tw)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(regenerated in %v)\n\n", r.Elapsed.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/uteda/gmap/internal/synth"
+)
+
+func TestAblationVariantsShape(t *testing.T) {
+	vs := AblationVariants()
+	if len(vs) != 6 {
+		t.Fatalf("variants = %d, want 6", len(vs))
+	}
+	if vs[0].Name != "full" || vs[0].Abl != (synth.Ablation{}) {
+		t.Errorf("first variant must be the full generator: %+v", vs[0])
+	}
+	last := vs[len(vs)-1]
+	if !last.Abl.NoWindows || !last.Abl.NoTemplates || !last.Abl.NoRunLengths {
+		t.Errorf("bare variant incomplete: %+v", last)
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	opts := Options{Benchmarks: []string{"kmeans"}, Scale: 1, ScaleFactor: 4, Seed: 1, Cores: 4}
+	res, err := opts.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0].L1Err) != 6 {
+		t.Fatalf("result shape = %d rows x %d variants", len(res.Rows), len(res.Rows[0].L1Err))
+	}
+	// kmeans without footprint windows must be much worse than full: that
+	// mechanism is what stops stride-walk diffusion (DESIGN.md §5).
+	full, noWin := res.Rows[0].L1Err[0], res.Rows[0].L1Err[1]
+	if noWin <= full {
+		t.Errorf("kmeans -windows error (%.2f) not worse than full (%.2f)", noWin, full)
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ablation", "kmeans", "full", "bare-alg1", "AVERAGE"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/uteda/gmap/internal/core"
+	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/stats"
+	"github.com/uteda/gmap/internal/synth"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+// Options parameterizes an evaluation run.
+type Options struct {
+	// Benchmarks to evaluate; nil means all 18.
+	Benchmarks []string
+	// Scale is the workload size knob (1 = default evaluation size).
+	Scale int
+	// ScaleFactor is the proxy miniaturization factor (paper: ~4-5).
+	ScaleFactor float64
+	// Seed drives profiling-independent sampling.
+	Seed uint64
+	// Cores overrides the simulated SM count (0 = Table 2's 15).
+	Cores int
+	// Progress, when non-nil, receives one line per completed benchmark.
+	Progress func(format string, args ...interface{})
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{Scale: 1, ScaleFactor: 4, Seed: 1}
+}
+
+func (o *Options) fillDefaults() {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workloads.Names()
+	}
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.ScaleFactor < 1 {
+		o.ScaleFactor = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// prepare builds the workload pipeline for one benchmark.
+func (o *Options) prepare(name string) (*core.Workload, error) {
+	pcfg := profiler.DefaultConfig()
+	return core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor})
+}
+
+// BenchResult is one benchmark's row in a figure: clone error and
+// correlation over the sweep.
+type BenchResult struct {
+	Benchmark string
+	// Points is the number of validation points (configurations).
+	Points int
+	// Error is the mean absolute error. For rate metrics (miss rates,
+	// RBL) it is measured in percentage points; for magnitude metrics
+	// (latency, queue length) it is relative percent.
+	Error float64
+	// Correlation is Pearson's r between the original and proxy series.
+	Correlation float64
+}
+
+// FigureResult aggregates one experiment.
+type FigureResult struct {
+	ID    string
+	Title string
+	// Metric names the compared quantity.
+	Metric string
+	Rows   []BenchResult
+	// AvgError and AvgCorrelation are the headline numbers the paper
+	// quotes per figure.
+	AvgError       float64
+	AvgCorrelation float64
+	// Elapsed is the wall-clock cost of regenerating the figure.
+	Elapsed time.Duration
+}
+
+// finalize computes the aggregate row.
+func (f *FigureResult) finalize() {
+	var errs, corrs []float64
+	for _, r := range f.Rows {
+		errs = append(errs, r.Error)
+		corrs = append(corrs, r.Correlation)
+	}
+	f.AvgError = stats.Mean(errs)
+	f.AvgCorrelation = stats.Mean(corrs)
+}
+
+// rateError is the error metric for rates in [0,1]: mean absolute
+// difference in percentage points.
+func rateError(orig, prox []float64) float64 {
+	var sum float64
+	for i := range orig {
+		sum += stats.AbsError(orig[i], prox[i])
+	}
+	if len(orig) == 0 {
+		return 0
+	}
+	return sum / float64(len(orig))
+}
+
+// relError is the error metric for magnitudes: mean absolute relative
+// percent.
+func relError(orig, prox []float64) float64 {
+	e, err := stats.MeanAbsPctError(orig, prox)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// correlation mirrors core.Comparison's flat-series convention.
+func correlation(orig, prox []float64) float64 {
+	r, err := stats.Pearson(orig, prox)
+	if err != nil {
+		return 0
+	}
+	if r == 0 && stats.StdDev(orig) == 0 && stats.StdDev(prox) == 0 {
+		return 1
+	}
+	return r
+}
+
+// runSweep compares original and proxy over a sweep for one metric. When
+// proxyGens is nil the same generators drive both sides; Figure 6e passes
+// a different proxy-side policy (SchedPself approximating GTO).
+func (o *Options) runSweep(w *core.Workload, gens, proxyGens []ConfigGen, metric core.Metric, asRate bool) (BenchResult, error) {
+	if proxyGens == nil {
+		proxyGens = gens
+	}
+	if len(proxyGens) != len(gens) {
+		return BenchResult{}, fmt.Errorf("eval: %d original configs vs %d proxy configs", len(gens), len(proxyGens))
+	}
+	orig := make([]float64, 0, len(gens))
+	prox := make([]float64, 0, len(gens))
+	for i := range gens {
+		ocfg, err := gens[i].Make()
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("eval: %s: %w", gens[i].Label, err)
+		}
+		om, err := w.SimulateOriginal(ocfg)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		pcfg, err := proxyGens[i].Make()
+		if err != nil {
+			return BenchResult{}, err
+		}
+		pm, err := w.SimulateProxy(pcfg)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		orig = append(orig, metric.Fn(om))
+		prox = append(prox, metric.Fn(pm))
+	}
+	res := BenchResult{Benchmark: w.Name, Points: len(gens), Correlation: correlation(orig, prox)}
+	if asRate {
+		res.Error = rateError(orig, prox)
+	} else {
+		res.Error = relError(orig, prox)
+	}
+	return res, nil
+}
+
+// runFigure evaluates a metric sweep across all selected benchmarks.
+func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, gens, proxyGens []ConfigGen) (*FigureResult, error) {
+	o.fillDefaults()
+	start := time.Now()
+	fig := &FigureResult{ID: id, Title: title, Metric: metric.Name}
+	for _, name := range o.Benchmarks {
+		w, err := o.prepare(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := o.runSweep(w, gens, proxyGens, metric, asRate)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s/%s: %w", id, name, err)
+		}
+		fig.Rows = append(fig.Rows, row)
+		o.logf("%s %-12s error %6.2f%s corr %.3f (%d pts)",
+			id, name, row.Error, errUnit(asRate), row.Correlation, row.Points)
+	}
+	fig.finalize()
+	fig.Elapsed = time.Since(start)
+	return fig, nil
+}
+
+func errUnit(asRate bool) string {
+	if asRate {
+		return "pp"
+	}
+	return "%"
+}
+
+// Fig6a regenerates Figure 6a: L1 miss-rate cloning across 30 L1
+// configurations.
+func (o *Options) Fig6a() (*FigureResult, error) {
+	o.fillDefaults()
+	return o.runFigure("fig6a", "L1 cache configurations: proxy vs original miss rate",
+		core.L1MissRate, true, L1Sweep(o.Cores), nil)
+}
+
+// Fig6b regenerates Figure 6b: L2 miss-rate cloning across 30 L2
+// configurations.
+func (o *Options) Fig6b() (*FigureResult, error) {
+	o.fillDefaults()
+	return o.runFigure("fig6b", "L2 cache configurations: proxy vs original miss rate",
+		core.L2MissRate, true, L2Sweep(o.Cores), nil)
+}
+
+// Fig6c regenerates Figure 6c: L1 miss rate with a many-thread-aware
+// stride prefetcher across 72 configurations.
+func (o *Options) Fig6c() (*FigureResult, error) {
+	o.fillDefaults()
+	return o.runFigure("fig6c", "L1 cache + stride prefetcher configurations",
+		core.L1MissRate, true, L1PrefetchSweep(o.Cores), nil)
+}
+
+// Fig6d regenerates Figure 6d: L2 miss rate with a stream prefetcher
+// across 96 configurations.
+func (o *Options) Fig6d() (*FigureResult, error) {
+	o.fillDefaults()
+	return o.runFigure("fig6d", "L2 cache + stream prefetcher configurations",
+		core.L2MissRate, true, L2PrefetchSweep(o.Cores), nil)
+}
+
+// Fig6eResult carries the two policy sub-figures of Figure 6e.
+type Fig6eResult struct {
+	LRR *FigureResult
+	GTO *FigureResult
+}
+
+// Fig6e regenerates Figure 6e: L1 miss-rate cloning under LRR and GTO
+// warp scheduling. The proxy replicates GTO via the SchedPself
+// approximation of §4.5 rather than modeling the core pipeline.
+func (o *Options) Fig6e() (*Fig6eResult, error) {
+	o.fillDefaults()
+	lrr, err := o.runFigure("fig6e/lrr", "Scheduling policy impact (LRR)",
+		core.L1MissRate, true, SchedulerSweep(o.Cores, memsim.LRR), nil)
+	if err != nil {
+		return nil, err
+	}
+	// Original runs true GTO; the proxy side approximates it with PSelf.
+	origGens := SchedulerSweep(o.Cores, memsim.GTO)
+	proxGens := SchedulerSweep(o.Cores, memsim.PSelf)
+	gto, err := o.runFigure("fig6e/gto", "Scheduling policy impact (GTO, proxy via SchedPself)",
+		core.L1MissRate, true, origGens, proxGens)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6eResult{LRR: lrr, GTO: gto}, nil
+}

@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteFigure renders a FigureResult as a plain-text table.
+func WriteFigure(w io.Writer, f *FigureResult) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(w, "metric: %s, %d benchmarks x %d configurations\n",
+		f.Metric, len(f.Rows), pointsOf(f))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\terror\tcorrelation\tpoints")
+	for _, r := range f.Rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\t%d\n", r.Benchmark, r.Error, r.Correlation, r.Points)
+	}
+	fmt.Fprintf(tw, "AVERAGE\t%.2f\t%.3f\t\n", f.AvgError, f.AvgCorrelation)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if f.Elapsed > 0 {
+		fmt.Fprintf(w, "(regenerated in %v)\n", f.Elapsed.Round(1000000))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func pointsOf(f *FigureResult) int {
+	if len(f.Rows) == 0 {
+		return 0
+	}
+	return f.Rows[0].Points
+}
+
+// WriteFig6e renders the two scheduling-policy sub-figures.
+func WriteFig6e(w io.Writer, r *Fig6eResult) error {
+	if err := WriteFigure(w, r.LRR); err != nil {
+		return err
+	}
+	if err := WriteFigure(w, r.GTO); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fig6e summary: LRR avg error %.2fpp, GTO avg error %.2fpp (paper: 5.1%% / 10.9%%)\n\n",
+		r.LRR.AvgError, r.GTO.AvgError)
+	return nil
+}
+
+// WriteFig7 renders the DRAM exploration results: the per-metric accuracy
+// tables plus the normalized bar values of the paper's figure.
+func WriteFig7(w io.Writer, r *Fig7Result) error {
+	for _, f := range []*FigureResult{r.RBL, r.QueueLen, r.ReadLat, r.WriteLat} {
+		if err := WriteFigure(w, f); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "== fig7 bars: original vs clone, normalized to original AES ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tRBL o/c\tqueue o/c\trdlat o/c\twrlat o/c")
+	for _, row := range r.Normalized {
+		fmt.Fprintf(tw, "%s\t%.2f/%.2f\t%.2f/%.2f\t%.2f/%.2f\t%.2f/%.2f\n",
+			row.Benchmark,
+			row.RBLOrig, row.RBLProxy,
+			row.QueueOrig, row.QueueProxy,
+			row.ReadLatOrig, row.ReadLatProxy,
+			row.WriteLatOrig, row.WriteLatProxy)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteFig8 renders the miniaturization sweep.
+func WriteFig8(w io.Writer, r *Fig8Result) error {
+	fmt.Fprintln(w, "== fig8: impact of trace miniaturization ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "reduction\taccuracy\tsim speedup\trequest ratio")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%.0fx\t%.2f%%\t%.2fx\t%.2fx\n", p.Factor, p.Accuracy, p.Speedup, p.RequestRatio)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(regenerated in %v)\n\n", r.Elapsed.Round(1000000))
+	return nil
+}
+
+// WriteTable1 renders the Table 1 reproduction.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	fmt.Fprintln(w, "== table1: application memory patterns ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", "application\tmem PC\t%mem freq\tdom. inter-warp stride\t%stride\tdom. intra-warp stride\treuse")
+	last := ""
+	for _, r := range rows {
+		name := r.Benchmark
+		if name == last {
+			name = ""
+		} else {
+			last = r.Benchmark
+		}
+		fmt.Fprintf(tw, "%s\t%#x\t%.1f%%\t%d\t%.1f%%\t%d\t%s\n",
+			name, r.PC, r.Freq*100, r.InterStride, r.InterFreq*100, r.IntraStride, r.Reuse)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteTable2 renders the profiled system configuration.
+func WriteTable2(w io.Writer) error {
+	fmt.Fprintln(w, "== table2: profiled system configuration ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, kv := range Table2() {
+		fmt.Fprintf(tw, "%s\t%s\n", kv[0], kv[1])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// ExperimentIDs lists every regenerable experiment. "ablation" is this
+// reproduction's own study; the rest are the paper's tables and figures.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig7", "fig8", "ablation"}
+}
+
+// Run executes one experiment by id and writes its report. "all" runs the
+// complete evaluation.
+func (o *Options) Run(w io.Writer, id string) error {
+	switch strings.ToLower(id) {
+	case "table1":
+		rows, err := o.Table1()
+		if err != nil {
+			return err
+		}
+		return WriteTable1(w, rows)
+	case "table2":
+		return WriteTable2(w)
+	case "fig6a":
+		f, err := o.Fig6a()
+		if err != nil {
+			return err
+		}
+		return WriteFigure(w, f)
+	case "fig6b":
+		f, err := o.Fig6b()
+		if err != nil {
+			return err
+		}
+		return WriteFigure(w, f)
+	case "fig6c":
+		f, err := o.Fig6c()
+		if err != nil {
+			return err
+		}
+		return WriteFigure(w, f)
+	case "fig6d":
+		f, err := o.Fig6d()
+		if err != nil {
+			return err
+		}
+		return WriteFigure(w, f)
+	case "fig6e":
+		f, err := o.Fig6e()
+		if err != nil {
+			return err
+		}
+		return WriteFig6e(w, f)
+	case "fig7":
+		f, err := o.Fig7()
+		if err != nil {
+			return err
+		}
+		return WriteFig7(w, f)
+	case "fig8":
+		f, err := o.Fig8()
+		if err != nil {
+			return err
+		}
+		return WriteFig8(w, f)
+	case "ablation":
+		f, err := o.Ablation()
+		if err != nil {
+			return err
+		}
+		return WriteAblation(w, f)
+	case "all":
+		for _, each := range ExperimentIDs() {
+			if err := o.Run(w, each); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("eval: unknown experiment %q (have %v and \"all\")", id, ExperimentIDs())
+	}
+}

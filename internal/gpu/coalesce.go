@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// Coalescer merges the per-thread references of a warp into cacheline
+// transactions, following the compute-capability-2.x rules of CUDA C
+// Programming Guide §G.4.2: the references of all active threads executing
+// one memory instruction are serviced with one transaction per distinct
+// 128-byte aligned segment they touch. Highly coalesced instructions (all
+// 32 threads in one line) therefore cost one transaction; fully scattered
+// ones cost up to 32.
+type Coalescer struct {
+	// LineSize is the transaction granularity in bytes; it must be a power
+	// of two. The Fermi default is 128.
+	LineSize uint64
+}
+
+// NewCoalescer returns a coalescer with the given line size, falling back
+// to DefaultLineSize when lineSize is zero.
+func NewCoalescer(lineSize uint64) Coalescer {
+	if lineSize == 0 {
+		lineSize = DefaultLineSize
+	}
+	return Coalescer{LineSize: lineSize}
+}
+
+// lineOf returns addr aligned down to the coalescing granularity.
+func (c Coalescer) lineOf(addr uint64) uint64 { return addr &^ (c.LineSize - 1) }
+
+// Coalesce merges one warp-wide instruction execution into transactions.
+// addrs holds the byte address referenced by each active thread (inactive
+// threads are simply omitted by the caller). The returned requests are
+// ordered by first touching thread, which keeps results deterministic and
+// matches the hardware's lane-ordered segment service.
+func (c Coalescer) Coalesce(warpID int, pc uint64, kind trace.Kind, addrs []uint64) []trace.Request {
+	if len(addrs) == 0 {
+		return nil
+	}
+	// Warps have at most 32 lanes; a small slice scan beats a map here.
+	type seg struct {
+		line    uint64
+		threads int
+	}
+	segs := make([]seg, 0, 4)
+outer:
+	for _, a := range addrs {
+		line := c.lineOf(a)
+		for i := range segs {
+			if segs[i].line == line {
+				segs[i].threads++
+				continue outer
+			}
+		}
+		segs = append(segs, seg{line: line, threads: 1})
+	}
+	reqs := make([]trace.Request, len(segs))
+	for i, s := range segs {
+		reqs[i] = trace.Request{
+			PC:      pc,
+			Addr:    s.line,
+			Kind:    kind,
+			WarpID:  warpID,
+			Threads: s.threads,
+		}
+	}
+	return reqs
+}
+
+// BuildWarpTraces converts a per-thread kernel trace into coalesced
+// per-warp transaction streams. Threads of a warp advance in lockstep: at
+// each step the coalescer groups the next pending access of every active
+// thread that is executing the same static instruction (SIMT serializes
+// divergent subsets, lowest-lane PC first) into transactions. The result
+// is ordered exactly as a Fermi SM would issue it.
+func (c Coalescer) BuildWarpTraces(k *trace.KernelTrace) []trace.WarpTrace {
+	launch := FromKernelTrace(k)
+	warps := make([]trace.WarpTrace, launch.NumWarps())
+	addrBuf := make([]uint64, 0, WarpSize)
+	for w := range warps {
+		warps[w].WarpID = w
+		warps[w].Block = launch.BlockOfWarp(w)
+		lo, hi := launch.ThreadsOfWarp(w)
+		if lo >= len(k.Threads) {
+			continue
+		}
+		if hi > len(k.Threads) {
+			hi = len(k.Threads)
+		}
+		cursors := make([]int, hi-lo)
+		for {
+			// Find the leader: the lowest-lane thread that still has
+			// pending accesses. Its PC defines the next SIMT-issued
+			// instruction subset.
+			leader := -1
+			for i := lo; i < hi; i++ {
+				if cursors[i-lo] < len(k.Threads[i].Accesses) {
+					leader = i
+					break
+				}
+			}
+			if leader < 0 {
+				break
+			}
+			lead := k.Threads[leader].Accesses[cursors[leader-lo]]
+			addrBuf = addrBuf[:0]
+			kind := lead.Kind
+			for i := leader; i < hi; i++ {
+				cur := cursors[i-lo]
+				accs := k.Threads[i].Accesses
+				if cur < len(accs) && accs[cur].PC == lead.PC && accs[cur].Kind == kind {
+					addrBuf = append(addrBuf, accs[cur].Addr)
+					cursors[i-lo]++
+				}
+			}
+			warps[w].Requests = append(warps[w].Requests,
+				c.Coalesce(w, lead.PC, kind, addrBuf)...)
+		}
+	}
+	return warps
+}

@@ -1,0 +1,131 @@
+package gpu
+
+import "fmt"
+
+// SMConfig captures the per-SM resource limits that bound how many
+// threadblocks can be resident at once. Values default to the Fermi-class
+// configuration profiled in Table 2 of the paper (15 SMs, 1024 threads,
+// 32768 registers per SM).
+type SMConfig struct {
+	// NumSMs is the number of streaming multiprocessors on the chip.
+	NumSMs int
+	// MaxThreads is the maximum resident threads per SM.
+	MaxThreads int
+	// MaxBlocks is the maximum resident threadblocks per SM.
+	MaxBlocks int
+	// Registers is the register file size (32-bit registers) per SM.
+	Registers int
+	// SharedMem is the shared memory per SM, in bytes.
+	SharedMem int
+}
+
+// DefaultSMConfig returns the Table 2 profiled configuration.
+func DefaultSMConfig() SMConfig {
+	return SMConfig{
+		NumSMs:     15,
+		MaxThreads: 1024,
+		MaxBlocks:  8,
+		Registers:  32768,
+		SharedMem:  48 * 1024,
+	}
+}
+
+// BlockRequirements are the per-threadblock resource needs of a kernel.
+type BlockRequirements struct {
+	Threads       int
+	RegsPerThread int
+	SharedMem     int
+}
+
+// BlocksPerSM returns how many threadblocks with the given requirements fit
+// on one SM, honoring every resource limit simultaneously. The result is at
+// least 0; an error is returned when a single block cannot fit at all.
+func (c SMConfig) BlocksPerSM(req BlockRequirements) (int, error) {
+	if req.Threads <= 0 {
+		return 0, fmt.Errorf("gpu: block with %d threads", req.Threads)
+	}
+	limit := c.MaxBlocks
+	if byThreads := c.MaxThreads / req.Threads; byThreads < limit {
+		limit = byThreads
+	}
+	if req.RegsPerThread > 0 {
+		if byRegs := c.Registers / (req.RegsPerThread * req.Threads); byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if req.SharedMem > 0 {
+		if byShmem := c.SharedMem / req.SharedMem; byShmem < limit {
+			limit = byShmem
+		}
+	}
+	if limit <= 0 {
+		return 0, fmt.Errorf("gpu: block (threads=%d regs/thread=%d shmem=%d) exceeds SM capacity",
+			req.Threads, req.RegsPerThread, req.SharedMem)
+	}
+	return limit, nil
+}
+
+// Occupancy returns the fraction of the SM's thread capacity that blocks
+// with the given requirements achieve: resident blocks times threads per
+// block over MaxThreads. It is the standard figure of merit kernel tuners
+// optimize; an error means a single block cannot fit.
+func (c SMConfig) Occupancy(req BlockRequirements) (float64, error) {
+	blocks, err := c.BlocksPerSM(req)
+	if err != nil {
+		return 0, err
+	}
+	if c.MaxThreads <= 0 {
+		return 0, fmt.Errorf("gpu: SM with %d max threads", c.MaxThreads)
+	}
+	occ := float64(blocks*req.Threads) / float64(c.MaxThreads)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ, nil
+}
+
+// Assignment maps every threadblock of a launch to the SM that will run it
+// and records the scheduling wave in which it becomes resident.
+type Assignment struct {
+	// SMOfBlock[b] is the SM index that runs threadblock b.
+	SMOfBlock []int
+	// WaveOfBlock[b] is the wave number: blocks in wave 0 are resident at
+	// kernel start; a block in wave w+1 starts when an SM slot from wave w
+	// frees up. The trace-driven memsim uses this to stage warp queues.
+	WaveOfBlock []int
+	// BlocksPerSM is the resident-block limit used for the assignment.
+	BlocksPerSM int
+}
+
+// AssignBlocks distributes numBlocks threadblocks over the SMs in
+// round-robin order until each SM holds blocksPerSM blocks, then wraps to
+// the next wave — the policy described in §4.5 of the paper ("G-MAP
+// assigns threadblocks to cores in a round-robin fashion until they are
+// full, new TBs get scheduled when the running TBs finish execution").
+func AssignBlocks(numBlocks, numSMs, blocksPerSM int) Assignment {
+	if numSMs <= 0 {
+		numSMs = 1
+	}
+	if blocksPerSM <= 0 {
+		blocksPerSM = 1
+	}
+	a := Assignment{
+		SMOfBlock:   make([]int, numBlocks),
+		WaveOfBlock: make([]int, numBlocks),
+		BlocksPerSM: blocksPerSM,
+	}
+	perWave := numSMs * blocksPerSM
+	for b := 0; b < numBlocks; b++ {
+		a.SMOfBlock[b] = b % numSMs
+		a.WaveOfBlock[b] = b / perWave
+	}
+	return a
+}
+
+// NumWaves returns the number of scheduling waves in the assignment.
+func (a Assignment) NumWaves() int {
+	if len(a.WaveOfBlock) == 0 {
+		return 0
+	}
+	return a.WaveOfBlock[len(a.WaveOfBlock)-1] + 1
+}

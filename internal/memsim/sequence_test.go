@@ -1,0 +1,156 @@
+package memsim
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// launchOf builds one launch of n single-warp blocks touching the given
+// base region.
+func launchOf(n, reqs int, base uint64) []trace.WarpTrace {
+	warps := make([]trace.WarpTrace, n)
+	for w := range warps {
+		warps[w].WarpID = w
+		warps[w].Block = w
+		for j := 0; j < reqs; j++ {
+			warps[w].Requests = append(warps[w].Requests, trace.Request{
+				PC: 0x10, Addr: base + uint64(w)<<16 + uint64(j*128), Kind: trace.Load})
+		}
+	}
+	return warps
+}
+
+func TestSequenceRunsAllLaunches(t *testing.T) {
+	cfg := smallConfig()
+	sim, err := NewSequence([][]trace.WarpTrace{
+		launchOf(4, 20, 0x100000),
+		launchOf(4, 20, 0x900000),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 2*4*20 {
+		t.Errorf("Requests = %d, want 160", m.Requests)
+	}
+}
+
+func TestSequenceEpochOrdering(t *testing.T) {
+	// Launch 1 touches the same lines as launch 0. Because launches are
+	// serialized with persistent caches, launch 1 must hit everywhere
+	// (the working set fits the L2 and per-core L1s are re-fetched from
+	// L2, not DRAM): total DRAM reads equal launch 0's cold misses only.
+	cfg := smallConfig()
+	cfg.NumCores = 1
+	first := launchOf(2, 30, 0x100000)
+	second := launchOf(2, 30, 0x100000)
+	sim, err := NewSequence([][]trace.WarpTrace{first, second}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DRAM.Reads != 60 {
+		t.Errorf("DRAM reads = %d, want 60 (launch 1 must reuse launch 0's lines)", m.DRAM.Reads)
+	}
+	if m.L2.Misses != 60 {
+		t.Errorf("L2 misses = %d, want launch-0 cold only", m.L2.Misses)
+	}
+}
+
+func TestSequenceSerialization(t *testing.T) {
+	// A short launch followed by another short launch must take longer
+	// than the two launches' warps run as ONE launch (which overlaps
+	// them across cores).
+	cfg := smallConfig()
+	a := launchOf(4, 40, 0x100000)
+	b := launchOf(4, 40, 0x900000)
+	seq, err := NewSequence([][]trace.WarpTrace{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge into one launch: relabel b's blocks to be distinct.
+	merged := append(append([]trace.WarpTrace{}, a...), b...)
+	for i := 4; i < 8; i++ {
+		merged[i].Block += 4
+	}
+	one, err := New(merged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := one.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Cycles <= mo.Cycles {
+		t.Errorf("serialized launches (%d cycles) not slower than merged (%d)", ms.Cycles, mo.Cycles)
+	}
+}
+
+func TestSequenceEmpty(t *testing.T) {
+	if _, err := NewSequence(nil, smallConfig()); err == nil {
+		t.Error("empty launch list accepted")
+	}
+}
+
+func TestSequenceWithBarriers(t *testing.T) {
+	// Barriers inside each launch must not leak across launches.
+	l0 := barrierWarps(3, 10)
+	l1 := barrierWarps(3, 10)
+	cfg := smallConfig()
+	cfg.NumCores = 1
+	sim, err := NewSequence([][]trace.WarpTrace{l0, l1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequencePerLaunchMetrics(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumCores = 1
+	first := launchOf(2, 30, 0x100000)
+	second := launchOf(2, 30, 0x100000) // same lines: hits in L2
+	sim, err := NewSequence([][]trace.WarpTrace{first, second}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerLaunch) != 2 {
+		t.Fatalf("PerLaunch entries = %d, want 2", len(m.PerLaunch))
+	}
+	a, b := m.PerLaunch[0], m.PerLaunch[1]
+	if a.Requests != 60 || b.Requests != 60 {
+		t.Errorf("per-launch requests = %d, %d; want 60 each", a.Requests, b.Requests)
+	}
+	if a.Requests+b.Requests != m.Requests {
+		t.Errorf("launch requests (%d) do not sum to total (%d)", a.Requests+b.Requests, m.Requests)
+	}
+	if a.L2.Misses == 0 || b.L2.Misses != 0 {
+		t.Errorf("launch L2 misses = %d, %d; want cold misses only in launch 0", a.L2.Misses, b.L2.Misses)
+	}
+	if a.Cycles == 0 || b.Cycles == 0 || a.Cycles+b.Cycles != m.Cycles {
+		t.Errorf("launch cycles %d + %d != total %d", a.Cycles, b.Cycles, m.Cycles)
+	}
+	// Single-launch runs don't carry the breakdown.
+	one, _ := New(first, cfg)
+	mo, _ := one.Run()
+	if len(mo.PerLaunch) != 0 {
+		t.Errorf("single launch has PerLaunch = %d entries", len(mo.PerLaunch))
+	}
+}

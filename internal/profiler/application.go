@@ -1,0 +1,126 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/uteda/gmap/internal/gpu"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// AppProfile is the statistical profile of a whole application: one
+// kernel profile per distinct static kernel, plus the launch sequence
+// referencing them. Re-launches of the same kernel share a profile
+// captured from all of their executions, which keeps the profile size
+// independent of iteration count — the paper's "profiling is a one-time
+// cost ... independent of the execution length".
+type AppProfile struct {
+	Name string `json:"name"`
+	// Kernels holds one profile per distinct kernel name.
+	Kernels []*Profile `json:"kernels"`
+	// Launches is the execution order as indices into Kernels.
+	Launches []int `json:"launches"`
+}
+
+// Validate checks structural consistency.
+func (a *AppProfile) Validate() error {
+	if len(a.Kernels) == 0 || len(a.Launches) == 0 {
+		return fmt.Errorf("profiler: app profile %q empty", a.Name)
+	}
+	for _, li := range a.Launches {
+		if li < 0 || li >= len(a.Kernels) {
+			return fmt.Errorf("profiler: app profile %q: launch references kernel %d of %d",
+				a.Name, li, len(a.Kernels))
+		}
+	}
+	for i, k := range a.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("profiler: app profile %q kernel %d: %w", a.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// ProfileApplication profiles every launch of an application. Launches of
+// the same kernel (by name) are merged into one profile by profiling
+// their warp streams together, so iterative applications stay compact.
+func ProfileApplication(app *trace.Application, cfg Config) (*AppProfile, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	out := &AppProfile{Name: app.Name}
+	kernelIdx := make(map[string]int)
+	// Group launches by kernel name, preserving the first launch's
+	// geometry (re-launches share the static kernel and therefore its
+	// geometry in our model).
+	type group struct {
+		traces []*trace.KernelTrace
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, k := range app.Launches {
+		g, ok := groups[k.Name]
+		if !ok {
+			g = &group{}
+			groups[k.Name] = g
+			order = append(order, k.Name)
+		}
+		g.traces = append(g.traces, k)
+	}
+	for _, name := range order {
+		g := groups[name]
+		first := g.traces[0]
+		for li, tr := range g.traces {
+			if tr.GridDim != first.GridDim || tr.BlockDim != first.BlockDim {
+				return nil, fmt.Errorf("profiler: app %q kernel %q launch %d changes geometry", app.Name, name, li)
+			}
+		}
+		// Concatenate the launches' coalesced warp streams: warp w of
+		// launch i is profiled as its own warp, so the per-warp
+		// statistics of every launch merge naturally.
+		coalescer := gpu.NewCoalescer(cfg.LineSize)
+		var allWarps []trace.WarpTrace
+		for _, tr := range g.traces {
+			warps := coalescer.BuildWarpTraces(tr)
+			base := len(allWarps)
+			for wi := range warps {
+				warps[wi].WarpID = base + wi
+				allWarps = append(allWarps, warps[wi])
+			}
+		}
+		p, err := ProfileWarps(name, first.GridDim, first.BlockDim, allWarps, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The merged warp population spans every launch; generation must
+		// regenerate ONE launch's worth of warps.
+		p.Warps = len(allWarps) / len(g.traces)
+		kernelIdx[name] = len(out.Kernels)
+		out.Kernels = append(out.Kernels, p)
+	}
+	for _, k := range app.Launches {
+		out.Launches = append(out.Launches, kernelIdx[k.Name])
+	}
+	return out, out.Validate()
+}
+
+// WriteJSON serializes the application profile.
+func (a *AppProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// ReadAppJSON deserializes and validates an application profile.
+func ReadAppJSON(r io.Reader) (*AppProfile, error) {
+	var a AppProfile
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("profiler: decoding app profile: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

@@ -1,0 +1,146 @@
+// Package reuse computes LRU stack distances (reuse distances) over memory
+// reference streams. The reuse distance of an access is the number of
+// distinct data elements (cachelines, for G-MAP) referenced between it and
+// the previous access to the same element; cold accesses have infinite
+// distance, represented here as Cold (-1). Stack distance is the classic
+// temporal-locality model of Mattson et al. and is the P_R component of the
+// G-MAP profile.
+//
+// The implementation uses the standard hash-map + Fenwick-tree formulation:
+// each access occupies a time slot; a Fenwick tree marks the slots holding
+// the most recent access of each distinct element, so a distance query is a
+// prefix-sum over (lastAccess, now), giving O(log n) per access.
+package reuse
+
+import "github.com/uteda/gmap/internal/stats"
+
+// Cold is the distance reported for the first access to an element.
+const Cold = -1
+
+// fenwick is a 1-indexed binary indexed tree over int counts.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) size() int { return len(f.tree) - 1 }
+
+// grow doubles capacity until at least n slots are available, preserving
+// existing counts.
+func (f *fenwick) grow(n int) {
+	old := f.size()
+	if n <= old {
+		return
+	}
+	cap2 := old
+	if cap2 == 0 {
+		cap2 = 1
+	}
+	for cap2 < n {
+		cap2 *= 2
+	}
+	// Rebuild from per-slot values: extract, then re-add.
+	vals := make([]int, old+1)
+	for i := old; i >= 1; i-- {
+		vals[i] = f.rangeSum(i, i)
+	}
+	f.tree = make([]int, cap2+1)
+	for i := 1; i <= old; i++ {
+		if vals[i] != 0 {
+			f.add(i, vals[i])
+		}
+	}
+}
+
+func (f *fenwick) add(i, delta int) {
+	for ; i <= f.size(); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) prefixSum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	return f.prefixSum(hi) - f.prefixSum(lo-1)
+}
+
+// Tracker computes stack distances incrementally over a stream of element
+// identifiers. The zero value is not usable; call NewTracker.
+type Tracker struct {
+	last map[uint64]int // element -> time slot of most recent access
+	bit  *fenwick
+	now  int // next time slot (1-indexed)
+}
+
+// NewTracker returns an empty tracker. hint sizes internal structures for
+// an expected stream length and may be 0.
+func NewTracker(hint int) *Tracker {
+	if hint < 16 {
+		hint = 16
+	}
+	return &Tracker{
+		last: make(map[uint64]int),
+		bit:  newFenwick(hint),
+		now:  1,
+	}
+}
+
+// Access records a reference to element e and returns its stack distance:
+// the number of distinct elements referenced since the previous reference
+// to e, or Cold if e has not been seen before.
+func (t *Tracker) Access(e uint64) int64 {
+	if t.now > t.bit.size() {
+		t.bit.grow(t.now)
+	}
+	prev, seen := t.last[e]
+	var dist int64
+	if !seen {
+		dist = Cold
+	} else {
+		dist = int64(t.bit.rangeSum(prev+1, t.now-1))
+		t.bit.add(prev, -1)
+	}
+	t.bit.add(t.now, 1)
+	t.last[e] = t.now
+	t.now++
+	return dist
+}
+
+// Distinct returns the number of distinct elements seen so far.
+func (t *Tracker) Distinct() int { return len(t.last) }
+
+// Accesses returns the number of accesses recorded so far.
+func (t *Tracker) Accesses() int { return t.now - 1 }
+
+// Distances computes the stack distance of every reference in stream in
+// one pass and returns them in order. It is a convenience wrapper over a
+// fresh Tracker.
+func Distances(stream []uint64) []int64 {
+	t := NewTracker(len(stream))
+	out := make([]int64, len(stream))
+	for i, e := range stream {
+		out[i] = t.Access(e)
+	}
+	return out
+}
+
+// Histogram folds the stack distances of stream into a stats.Histogram
+// (cold accesses recorded under key Cold). This is the P_R capture step.
+func Histogram(stream []uint64) *stats.Histogram {
+	h := stats.NewHistogram()
+	t := NewTracker(len(stream))
+	for _, e := range stream {
+		h.Add(t.Access(e))
+	}
+	return h
+}

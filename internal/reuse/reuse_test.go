@@ -1,0 +1,191 @@
+package reuse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/uteda/gmap/internal/rng"
+)
+
+// naiveDistance is the O(n^2) reference implementation: for each access,
+// count distinct elements strictly between it and the previous access to
+// the same element.
+func naiveDistances(stream []uint64) []int64 {
+	out := make([]int64, len(stream))
+	for i, e := range stream {
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if stream[j] == e {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			out[i] = Cold
+			continue
+		}
+		distinct := make(map[uint64]bool)
+		for j := prev + 1; j < i; j++ {
+			distinct[stream[j]] = true
+		}
+		out[i] = int64(len(distinct))
+	}
+	return out
+}
+
+func TestFigure5Example(t *testing.T) {
+	// The exact example from Figure 5 of the paper: accesses to
+	// X[0..3],X[1..3],X[0] map to cachelines 0,0,1,1,0,1,1,0 and yield
+	// reuse distances inf,0,inf,0,1,1,0,1.
+	lines := []uint64{0, 0, 1, 1, 0, 1, 1, 0}
+	want := []int64{Cold, 0, Cold, 0, 1, 1, 0, 1}
+	got := Distances(lines)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Figure 5 distances = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllCold(t *testing.T) {
+	got := Distances([]uint64{1, 2, 3, 4, 5})
+	for i, d := range got {
+		if d != Cold {
+			t.Errorf("access %d distance = %d, want Cold", i, d)
+		}
+	}
+}
+
+func TestRepeatedSingleElement(t *testing.T) {
+	got := Distances([]uint64{7, 7, 7, 7})
+	want := []int64{Cold, 0, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCyclicPattern(t *testing.T) {
+	// a b c a b c: second round all see distance 2.
+	got := Distances([]uint64{1, 2, 3, 1, 2, 3})
+	want := []int64{Cold, Cold, Cold, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n uint8, nElems uint8) bool {
+		r := rng.New(seed)
+		length := int(n%200) + 1
+		elems := uint64(nElems%16) + 1
+		stream := make([]uint64, length)
+		for i := range stream {
+			stream[i] = r.Uint64n(elems)
+		}
+		fast := Distances(stream)
+		slow := naiveDistances(stream)
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := NewTracker(0)
+	for _, e := range []uint64{1, 2, 1, 3, 1} {
+		tr.Access(e)
+	}
+	if tr.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", tr.Distinct())
+	}
+	if tr.Accesses() != 5 {
+		t.Errorf("Accesses = %d, want 5", tr.Accesses())
+	}
+}
+
+func TestTrackerGrowth(t *testing.T) {
+	// Force multiple Fenwick regrowths and verify against naive on a
+	// pattern with long-range reuse.
+	const n = 5000
+	stream := make([]uint64, n)
+	for i := range stream {
+		stream[i] = uint64(i % 97)
+	}
+	got := Distances(stream)
+	// After warmup, every access reuses its element after touching the
+	// other 96 elements.
+	for i := 97; i < n; i++ {
+		if got[i] != 96 {
+			t.Fatalf("access %d distance = %d, want 96", i, got[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]uint64{0, 0, 1, 1, 0, 1, 1, 0})
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(Cold) != 2 {
+		t.Errorf("cold count = %d, want 2", h.Count(Cold))
+	}
+	if h.Count(0) != 3 {
+		t.Errorf("distance-0 count = %d, want 3", h.Count(0))
+	}
+	if h.Count(1) != 3 {
+		t.Errorf("distance-1 count = %d, want 3", h.Count(1))
+	}
+}
+
+func TestDistanceBoundedByDistinct(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := NewTracker(64)
+		for i := 0; i < 300; i++ {
+			d := tr.Access(r.Uint64n(32))
+			if d != Cold && (d < 0 || d >= int64(tr.Distinct())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	if got := Distances(nil); len(got) != 0 {
+		t.Errorf("Distances(nil) = %v", got)
+	}
+	h := Histogram(nil)
+	if h.Total() != 0 {
+		t.Error("Histogram(nil) not empty")
+	}
+}
+
+func BenchmarkTracker(b *testing.B) {
+	r := rng.New(1)
+	stream := make([]uint64, 1<<16)
+	for i := range stream {
+		stream[i] = r.Uint64n(1 << 12)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracker(len(stream))
+		for _, e := range stream {
+			tr.Access(e)
+		}
+	}
+}

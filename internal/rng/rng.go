@@ -1,0 +1,151 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout G-MAP.
+//
+// Every stochastic step in the pipeline (π-profile assignment, stride and
+// reuse sampling, scheduler tie-breaking) draws from a seeded stream so
+// that profiles, proxies and experiment results are reproducible
+// bit-for-bit. The package implements splitmix64 (for seeding and stream
+// splitting) and xoshiro256** (for bulk generation), both public-domain
+// algorithms by Blackman and Vigna.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is a tiny 64-bit PRNG with a single word of state. It is
+// primarily used to expand one user seed into the larger state of
+// Xoshiro256 and to derive independent sub-streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one splitmix64 round. It is useful as a cheap,
+// stateless, well-distributed integer hash (e.g. deriving per-thread seeds
+// from a kernel seed and a thread id).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded from seed via splitmix64, as recommended by the
+// xoshiro authors. Any seed value, including zero, yields a valid state.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// xoshiro256** requires a not-all-zero state; splitmix64 output makes
+	// that astronomically unlikely, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new, statistically independent Rand from r. The derived
+// stream is a pure function of r's current state, so splitting is itself
+// deterministic.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+// Uint64 returns the next value of the xoshiro256** sequence.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0. The
+// implementation uses Lemire's multiply-shift rejection method, which is
+// unbiased and avoids division in the common case.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap, in the
+// manner of math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/uteda/gmap/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Len() != 0 {
+		t.Fatal("new histogram not empty")
+	}
+	h.Add(128)
+	h.Add(128)
+	h.Add(-64)
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	if h.Count(128) != 2 || h.Count(-64) != 1 || h.Count(7) != 0 {
+		t.Errorf("counts wrong: %v", h)
+	}
+	if got := h.Freq(128); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Freq(128) = %v", got)
+	}
+}
+
+func TestHistogramZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	if h.Total() != 1 || h.Count(5) != 1 {
+		t.Error("zero-value histogram broken")
+	}
+}
+
+func TestHistogramKeysSorted(t *testing.T) {
+	h := NewHistogram()
+	for _, k := range []int64{5, -3, 100, 0, -3, 7} {
+		h.Add(k)
+	}
+	keys := h.Keys()
+	want := []int64{-3, 0, 5, 7, 100}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram()
+	if _, _, ok := h.Mode(); ok {
+		t.Error("empty histogram reported a mode")
+	}
+	h.AddN(128, 7)
+	h.AddN(-128, 2)
+	h.AddN(4096, 1)
+	key, freq, ok := h.Mode()
+	if !ok || key != 128 || math.Abs(freq-0.7) > 1e-12 {
+		t.Errorf("Mode = (%d, %v, %v)", key, freq, ok)
+	}
+}
+
+func TestHistogramModeTieBreak(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(10, 5)
+	h.AddN(-10, 5)
+	key, _, _ := h.Mode()
+	if key != -10 {
+		t.Errorf("tie-break mode = %d, want -10 (smaller key)", key)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 10)
+	h.AddN(2, 30)
+	h.AddN(3, 20)
+	h.AddN(4, 30)
+	top := h.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) len = %d", len(top))
+	}
+	if top[0].Key != 2 || top[1].Key != 4 {
+		t.Errorf("TopK order = %v (ties should break to smaller key)", top)
+	}
+	if h.TopK(100)[3].Key != 1 {
+		t.Errorf("TopK(100) tail wrong: %v", h.TopK(100))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	c := h.Clone()
+	c.Add(2)
+	if h.Count(2) != 0 || h.Total() != 1 {
+		t.Error("Clone shares state with original")
+	}
+	if c.Total() != 2 {
+		t.Error("Clone lost data")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.AddN(1, 3)
+	b.AddN(1, 2)
+	b.AddN(5, 4)
+	a.Merge(b)
+	if a.Count(1) != 5 || a.Count(5) != 4 || a.Total() != 9 {
+		t.Errorf("Merge result wrong: %v", a)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestScalePreservesSupportAndShape(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(128, 8000)
+	h.AddN(-128, 1600)
+	h.AddN(4096, 3) // tiny bin must survive scaling
+	s := h.Scale(8)
+	if !s.Contains(4096) {
+		t.Error("Scale dropped a non-empty bin")
+	}
+	if d := HistDistance(h, s); d > 0.01 {
+		t.Errorf("Scale distorted distribution: distance %v", d)
+	}
+	if s.Total() >= h.Total() {
+		t.Errorf("Scale(8) did not shrink: %d -> %d", h.Total(), s.Total())
+	}
+}
+
+func TestScaleNoOp(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 10)
+	for _, f := range []float64{0, 0.5, 1} {
+		if got := h.Scale(f).Total(); got != 10 {
+			t.Errorf("Scale(%v).Total = %d, want 10", f, got)
+		}
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	if NewSampler(NewHistogram()) != nil {
+		t.Error("sampler over empty histogram should be nil")
+	}
+	if NewSampler(nil) != nil {
+		t.Error("sampler over nil histogram should be nil")
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(10, 700)
+	h.AddN(20, 200)
+	h.AddN(30, 100)
+	s := NewSampler(h)
+	r := rng.New(42)
+	got := NewHistogram()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		got.Add(s.Sample(r))
+	}
+	for _, k := range []int64{10, 20, 30} {
+		if math.Abs(got.Freq(k)-h.Freq(k)) > 0.01 {
+			t.Errorf("sampled freq of %d = %.4f, want %.4f", k, got.Freq(k), h.Freq(k))
+		}
+	}
+}
+
+func TestSamplerSingleKey(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(-5, 3)
+	s := NewSampler(h)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if s.Sample(r) != -5 {
+			t.Fatal("single-key sampler returned wrong key")
+		}
+	}
+}
+
+func TestSamplerOnlySamplesSupport(t *testing.T) {
+	f := func(keys []int64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		set := make(map[int64]bool)
+		for _, k := range keys {
+			h.Add(k)
+			set[k] = true
+		}
+		s := NewSampler(h)
+		r := rng.New(uint64(len(keys)))
+		for i := 0; i < 50; i++ {
+			if !set[s.Sample(r)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 1)
+	h.AddN(-2, 3)
+	if got := h.String(); got != "{-2:0.750 1:0.250}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	h := NewHistogram()
+	h.Add(42)
+	if !h.Contains(42) || h.Contains(43) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestLogBinExactBelowLimit(t *testing.T) {
+	h := NewHistogram()
+	for k := int64(-64); k <= 64; k++ {
+		h.AddN(k, 2)
+	}
+	b := h.LogBin(64)
+	if b.Len() != h.Len() || b.Total() != h.Total() {
+		t.Errorf("keys within the limit were quantized: %d -> %d keys", h.Len(), b.Len())
+	}
+}
+
+func TestLogBinQuantizesLargeKeys(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(100, 1)
+	h.AddN(120, 2)
+	h.AddN(-300, 3)
+	b := h.LogBin(64)
+	if b.Count(128) != 3 {
+		t.Errorf("100 and 120 should share bin 128: %v", b)
+	}
+	if b.Count(-512) != 3 {
+		t.Errorf("-300 should land in bin -512: %v", b)
+	}
+	if b.Total() != h.Total() {
+		t.Errorf("mass lost: %d -> %d", h.Total(), b.Total())
+	}
+}
+
+func TestLogBinBoundsKeyCount(t *testing.T) {
+	h := NewHistogram()
+	for k := int64(0); k < 100000; k++ {
+		h.Add(k)
+	}
+	b := h.LogBin(64)
+	// <= 65 exact keys + ~11 power-of-two bins.
+	if b.Len() > 80 {
+		t.Errorf("log-binned histogram has %d keys", b.Len())
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// MarshalJSON encodes the histogram as a JSON object mapping decimal keys
+// to counts, e.g. {"-128":3,"128":97}. The encoding is stable because
+// encoding/json sorts object keys.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	m := make(map[string]uint64, len(h.counts))
+	for k, v := range h.counts {
+		m[strconv.FormatInt(k, 10)] = v
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes the object form produced by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	h.counts = make(map[int64]uint64, len(m))
+	h.total = 0
+	for ks, v := range m {
+		k, err := strconv.ParseInt(ks, 10, 64)
+		if err != nil {
+			return fmt.Errorf("stats: bad histogram key %q: %w", ks, err)
+		}
+		h.counts[k] = v
+		h.total += v
+	}
+	return nil
+}

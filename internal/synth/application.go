@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// AppProxy is a generated application clone: one proxy per kernel launch,
+// in execution order.
+type AppProxy struct {
+	Name     string
+	Launches []*Proxy
+	// Requests is the total request count over all launches.
+	Requests int
+}
+
+// WarpLaunches returns the launches' warp streams in the form the
+// memory-hierarchy simulator's NewSequence consumes.
+func (a *AppProxy) WarpLaunches() [][]trace.WarpTrace {
+	out := make([][]trace.WarpTrace, len(a.Launches))
+	for i, l := range a.Launches {
+		out[i] = l.Warps
+	}
+	return out
+}
+
+// GenerateApp expands an application profile into a launch-sequence clone.
+// Every launch is generated independently — re-launches of the same kernel
+// draw fresh samples from the shared kernel profile (seeded per launch),
+// the statistical analogue of iterative kernels revisiting the same data
+// with different dynamic behaviour.
+func GenerateApp(ap *profiler.AppProfile, opts Options) (*AppProxy, error) {
+	if err := ap.Validate(); err != nil {
+		return nil, err
+	}
+	out := &AppProxy{Name: ap.Name}
+	for li, ki := range ap.Launches {
+		launchOpts := opts
+		launchOpts.Seed = opts.Seed ^ (uint64(li)+1)*0x9e3779b97f4a7c15
+		p, err := Generate(ap.Kernels[ki], launchOpts)
+		if err != nil {
+			return nil, err
+		}
+		out.Launches = append(out.Launches, p)
+		out.Requests += p.Requests
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/rng"
+
+	"github.com/uteda/gmap/internal/stats"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+func TestFootprintConfinement(t *testing.T) {
+	// The proxy's per-warp footprint must match the original's for every
+	// regular benchmark: no diffusion beyond the profiled windows.
+	for _, name := range []string{"kmeans", "heartwall", "lib", "bp", "cp"} {
+		p := profileOf(t, name)
+		proxy, err := Generate(p, Options{Seed: 5, ScaleFactor: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-warp distinct line counts, proxy vs the footprint implied
+		// by the windows.
+		for wi := 0; wi < 3 && wi < len(proxy.Warps); wi++ {
+			lines := map[uint64]bool{}
+			for _, r := range proxy.Warps[wi].Requests {
+				lines[r.Addr/128] = true
+			}
+			// Upper bound: sum over instructions of window spans.
+			var bound int64
+			for _, inst := range p.Insts {
+				bound += (inst.OffHi-inst.OffLo)/128 + 3 // +3: unaligned window edges and the anchor line
+			}
+			if int64(len(lines)) > bound {
+				t.Errorf("%s warp %d: %d distinct lines exceeds window bound %d",
+					name, wi, len(lines), bound)
+			}
+		}
+	}
+}
+
+func TestTemplatePhaseLocking(t *testing.T) {
+	// For a fully regular workload, warps sharing a π profile must follow
+	// the same relative pattern: warp i's offsets (from its own first
+	// access) must equal warp j's.
+	p := profileOf(t, "srad")
+	proxy, err := Generate(p, Options{Seed: 3, ScaleFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(wi int) []int64 {
+		var first uint64
+		var out []int64
+		got := false
+		for _, r := range proxy.Warps[wi].Requests {
+			if r.PC != 0x250 {
+				continue
+			}
+			if !got {
+				first = r.Addr
+				got = true
+			}
+			out = append(out, int64(r.Addr)-int64(first))
+		}
+		return out
+	}
+	a, b := rel(0), rel(5)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("warps not phase-locked at position %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIrregularWarpsDiffer(t *testing.T) {
+	// Scatter-driven instructions must NOT be phase-locked: bfs warps
+	// should produce different gather addresses.
+	p := profileOf(t, "bfs")
+	proxy, err := Generate(p, Options{Seed: 3, ScaleFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two warps with the same stream length (same π) and compare the
+	// scatter PC 0x48 offsets.
+	byLen := map[int][]int{}
+	for wi := range proxy.Warps {
+		byLen[len(proxy.Warps[wi].Requests)] = append(byLen[len(proxy.Warps[wi].Requests)], wi)
+	}
+	var pair []int
+	for _, ws := range byLen {
+		if len(ws) >= 2 {
+			pair = ws[:2]
+			break
+		}
+	}
+	if pair == nil {
+		t.Skip("no same-length warp pair")
+	}
+	scatter := func(wi int) []uint64 {
+		var out []uint64
+		for _, r := range proxy.Warps[wi].Requests {
+			if r.PC == 0x48 {
+				out = append(out, r.Addr)
+			}
+		}
+		return out
+	}
+	a, b := scatter(pair[0]), scatter(pair[1])
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no scatter requests in pair")
+	}
+	same := 0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("irregular gathers identical across warps; scatter was templated")
+	}
+}
+
+func TestRunStructurePreserved(t *testing.T) {
+	// cp's op structure: runs of +128 of length ~15 ended by one -2944
+	// drop. The proxy's run-length distribution for the dominant stride
+	// must match the profile's.
+	p := profileOf(t, "cp")
+	proxy, err := Generate(p, Options{Seed: 9, ScaleFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.NewHistogram()
+	for _, w := range proxy.Warps {
+		var prev uint64
+		var runStride, runLen int64
+		seen := false
+		for _, r := range w.Requests {
+			if r.PC != 0x208 {
+				continue
+			}
+			if seen {
+				stride := int64(r.Addr) - int64(prev)
+				if runLen > 0 && stride == runStride {
+					runLen++
+				} else {
+					if runLen > 0 && runStride == 128 {
+						got.Add(runLen)
+					}
+					runStride, runLen = stride, 1
+				}
+			}
+			prev, seen = r.Addr, true
+		}
+		if runLen > 0 && runStride == 128 {
+			got.Add(runLen)
+		}
+	}
+	if got.Total() == 0 {
+		t.Fatal("no +128 runs generated")
+	}
+	key, freq, _ := got.Mode()
+	if key < 13 || key > 17 {
+		t.Errorf("dominant +128 run length = %d (freq %.2f), want ~15", key, freq)
+	}
+}
+
+func TestSampleRangeExcluding(t *testing.T) {
+	h := stats.NewHistogram()
+	h.AddN(128, 90)
+	h.AddN(-2944, 10)
+	s := stats.NewSampler(h)
+	r := newTestRand()
+	// Excluding 128 over the full range must always yield -2944.
+	for i := 0; i < 50; i++ {
+		v, ok := s.SampleRangeExcluding(r, -10000, 10000, 128)
+		if !ok || v != -2944 {
+			t.Fatalf("exclusion sampling = (%d, %v)", v, ok)
+		}
+	}
+	// Excluding the only admissible key falls back to including it.
+	v, ok := s.SampleRangeExcluding(r, 0, 10000, 128)
+	if !ok || v != 128 {
+		t.Fatalf("fallback = (%d, %v), want (128, true)", v, ok)
+	}
+}
+
+func TestGenerateAllWorkloadsStillValid(t *testing.T) {
+	// Structural sanity across all 18 after the generation rework.
+	for _, s := range workloads.All() {
+		p := profileOf(t, s.Name)
+		proxy, err := Generate(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if proxy.Requests == 0 {
+			t.Fatalf("%s: empty proxy", s.Name)
+		}
+		warpsPerBlock := (p.BlockDim + 31) / 32
+		for wi := range proxy.Warps {
+			if proxy.Warps[wi].Block != wi/warpsPerBlock {
+				t.Fatalf("%s: warp %d block %d", s.Name, wi, proxy.Warps[wi].Block)
+			}
+			for _, rq := range proxy.Warps[wi].Requests {
+				if rq.WarpID != wi {
+					t.Fatalf("%s: warp id mismatch", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func newTestRand() *rng.Rand { return rng.New(424242) }
+
+func TestScaleUpGrowsProxy(t *testing.T) {
+	p := profileOf(t, "nn")
+	up, err := Generate(p, Options{Seed: 1, ScaleFactor: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(up.Requests) / float64(p.TotalRequests)
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("scale-up 0.25 ratio = %.2f (%d -> %d), want ~4",
+			ratio, p.TotalRequests, up.Requests)
+	}
+	if len(up.Warps) <= p.Warps {
+		t.Errorf("warp population %d not grown from %d", len(up.Warps), p.Warps)
+	}
+}
+
+func TestScaleUpGrowsFootprint(t *testing.T) {
+	// A scaled-up streaming workload must touch a proportionally larger
+	// footprint ("futuristic workloads with larger footprints", §1).
+	p := profileOf(t, "blk")
+	base, err := Generate(p, Options{Seed: 1, ScaleFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Generate(p, Options{Seed: 1, ScaleFactor: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := func(px *Proxy) int {
+		set := map[uint64]bool{}
+		for _, w := range px.Warps {
+			for _, r := range w.Requests {
+				set[r.Addr/128] = true
+			}
+		}
+		return len(set)
+	}
+	b, u := lines(base), lines(up)
+	if float64(u) < 1.8*float64(b) {
+		t.Errorf("scale-up footprint %d lines not >> base %d", u, b)
+	}
+}
+
+func TestScaleUpSimulates(t *testing.T) {
+	p := profileOf(t, "bp")
+	up, err := Generate(p, Options{Seed: 1, ScaleFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streams must stay structurally valid (warp/block ids consistent).
+	warpsPerBlock := (p.BlockDim + 31) / 32
+	for wi := range up.Warps {
+		if up.Warps[wi].Block != wi/warpsPerBlock {
+			t.Fatalf("warp %d block %d", wi, up.Warps[wi].Block)
+		}
+	}
+}

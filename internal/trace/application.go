@@ -1,0 +1,46 @@
+package trace
+
+import "fmt"
+
+// Application is a complete GPU program as the paper's execution model
+// describes it (Figure 1b): an ordered sequence of kernel launches. Each
+// launch carries its own grid and reference streams; on hardware the
+// launches serialize at device-wide synchronization points while cache
+// and DRAM state persists between them.
+type Application struct {
+	Name string
+	// Launches holds the per-launch traces in execution order. The same
+	// static kernel may appear several times (iterative applications).
+	Launches []*KernelTrace
+}
+
+// NumAccesses returns the total dynamic access count over all launches.
+func (a *Application) NumAccesses() int {
+	n := 0
+	for _, k := range a.Launches {
+		n += k.NumAccesses()
+	}
+	return n
+}
+
+// Validate checks every launch.
+func (a *Application) Validate() error {
+	if len(a.Launches) == 0 {
+		return fmt.Errorf("trace: application %q has no launches", a.Name)
+	}
+	for i, k := range a.Launches {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("trace: application %q launch %d: %w", a.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// KernelNames returns the launch sequence's kernel names in order.
+func (a *Application) KernelNames() []string {
+	names := make([]string, len(a.Launches))
+	for i, k := range a.Launches {
+		names[i] = k.Name
+	}
+	return names
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic   "GMAPTRC1"                  8 bytes
+//	name    uvarint length + bytes
+//	grid    uvarint
+//	block   uvarint
+//	threads uvarint
+//	for each thread:
+//	    accesses uvarint
+//	    for each access:
+//	        pc    uvarint  (delta-encoded against previous pc, zig-zag)
+//	        addr  uvarint  (delta-encoded against previous addr, zig-zag)
+//	        kind  1 byte
+//
+// Delta + zig-zag encoding exploits the strong spatial regularity of GPU
+// streams: most consecutive accesses by a thread differ by a small stride,
+// so the encoded form is typically 3-6x smaller than raw records.
+
+const binaryMagic = "GMAPTRC1"
+
+var (
+	// ErrBadMagic is returned when decoding data that is not a G-MAP
+	// binary trace.
+	ErrBadMagic = errors.New("trace: bad magic, not a G-MAP binary trace")
+	// errTooLarge guards against corrupt headers requesting absurd
+	// allocations.
+	errTooLarge = errors.New("trace: header count exceeds sanity limit")
+)
+
+const maxReasonableCount = 1 << 34
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteBinary encodes k into w using the compact binary format.
+func WriteBinary(w io.Writer, k *KernelTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(k.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(k.Name); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(k.GridDim), uint64(k.BlockDim), uint64(len(k.Threads))} {
+		if err := putUvarint(v); err != nil {
+			return err
+		}
+	}
+	for i := range k.Threads {
+		tt := &k.Threads[i]
+		if err := putUvarint(uint64(len(tt.Accesses))); err != nil {
+			return err
+		}
+		var prevPC, prevAddr uint64
+		for _, a := range tt.Accesses {
+			if err := putUvarint(zigzag(int64(a.PC - prevPC))); err != nil {
+				return err
+			}
+			if err := putUvarint(zigzag(int64(a.Addr - prevAddr))); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(a.Kind)); err != nil {
+				return err
+			}
+			prevPC, prevAddr = a.PC, a.Addr
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a kernel trace previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*KernelTrace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	readUvarint := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		return v, nil
+	}
+	nameLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, errTooLarge
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	grid, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	block, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	nThreads, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nThreads > maxReasonableCount {
+		return nil, errTooLarge
+	}
+	k := &KernelTrace{
+		Name:     string(name),
+		GridDim:  int(grid),
+		BlockDim: int(block),
+		Threads:  make([]ThreadTrace, nThreads),
+	}
+	for t := range k.Threads {
+		nAcc, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nAcc > maxReasonableCount {
+			return nil, errTooLarge
+		}
+		tt := &k.Threads[t]
+		tt.ThreadID = t
+		tt.Accesses = make([]Access, nAcc)
+		var prevPC, prevAddr uint64
+		for i := range tt.Accesses {
+			dpc, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			daddr, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated stream: %w", err)
+			}
+			if kind > byte(Sync) {
+				return nil, fmt.Errorf("trace: invalid access kind %d", kind)
+			}
+			prevPC += uint64(unzigzag(dpc))
+			prevAddr += uint64(unzigzag(daddr))
+			tt.Accesses[i] = Access{PC: prevPC, Addr: prevAddr, Kind: Kind(kind)}
+		}
+	}
+	return k, nil
+}
+
+// WriteText emits a line-oriented human-readable form:
+//
+//	# gmap-trace name=<name> grid=<g> block=<b>
+//	T <tid>
+//	LD <pc-hex> <addr-hex>
+//	ST <pc-hex> <addr-hex>
+//
+// It is intended for inspection and interchange with external tools, not
+// for large traces.
+func WriteText(w io.Writer, k *KernelTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# gmap-trace name=%s grid=%d block=%d\n", k.Name, k.GridDim, k.BlockDim); err != nil {
+		return err
+	}
+	for i := range k.Threads {
+		if _, err := fmt.Fprintf(bw, "T %d\n", k.Threads[i].ThreadID); err != nil {
+			return err
+		}
+		for _, a := range k.Threads[i].Accesses {
+			if _, err := fmt.Fprintf(bw, "%s %x %x\n", a.Kind, a.PC, a.Addr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) (*KernelTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	k := &KernelTrace{}
+	var cur *ThreadTrace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#"):
+			for _, field := range strings.Fields(line[1:]) {
+				if eq := strings.IndexByte(field, '='); eq > 0 {
+					key, val := field[:eq], field[eq+1:]
+					switch key {
+					case "name":
+						k.Name = val
+					case "grid":
+						fmt.Sscanf(val, "%d", &k.GridDim)
+					case "block":
+						fmt.Sscanf(val, "%d", &k.BlockDim)
+					}
+				}
+			}
+		case strings.HasPrefix(line, "T "):
+			var tid int
+			if _, err := fmt.Sscanf(line, "T %d", &tid); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad thread header %q", lineNo, line)
+			}
+			k.Threads = append(k.Threads, ThreadTrace{ThreadID: tid})
+			cur = &k.Threads[len(k.Threads)-1]
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: access before thread header", lineNo)
+			}
+			var kindStr string
+			var pc, addr uint64
+			if _, err := fmt.Sscanf(line, "%s %x %x", &kindStr, &pc, &addr); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad access %q", lineNo, line)
+			}
+			var kind Kind
+			switch kindStr {
+			case "LD":
+				kind = Load
+			case "ST":
+				kind = Store
+			case "BAR":
+				kind = Sync
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kindStr)
+			}
+			cur.Accesses = append(cur.Accesses, Access{PC: pc, Addr: addr, Kind: kind})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

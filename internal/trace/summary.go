@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary is a compact structural description of a warp-level request
+// stream: the quantities the G-MAP pipeline reasons about when judging
+// whether a clone resembles its original.
+type Summary struct {
+	// Warps and Requests count the stream's population.
+	Warps    int
+	Requests int
+	// Syncs counts barrier entries (not memory traffic).
+	Syncs int
+	// Loads and Stores partition the memory requests.
+	Loads  int
+	Stores int
+	// DistinctLines is the total footprint in cachelines.
+	DistinctLines int
+	// AvgWarpLines is the mean per-warp footprint.
+	AvgWarpLines float64
+	// ReuseFraction is the fraction of memory requests whose line was
+	// already touched earlier by the same warp.
+	ReuseFraction float64
+	// PCs maps each static instruction to its dynamic request count.
+	PCs map[uint64]int
+}
+
+// Summarize computes a Summary over warp streams at the given line size
+// (0 selects 128B).
+func Summarize(warps []WarpTrace, lineSize uint64) Summary {
+	if lineSize == 0 {
+		lineSize = 128
+	}
+	s := Summary{Warps: len(warps), PCs: make(map[uint64]int)}
+	global := make(map[uint64]struct{})
+	var warpLineSum int
+	var reused int
+	for i := range warps {
+		local := make(map[uint64]struct{})
+		for _, r := range warps[i].Requests {
+			if r.Kind == Sync {
+				s.Syncs++
+				continue
+			}
+			s.Requests++
+			s.PCs[r.PC]++
+			if r.Kind == Store {
+				s.Stores++
+			} else {
+				s.Loads++
+			}
+			line := r.Addr / lineSize
+			if _, seen := local[line]; seen {
+				reused++
+			} else {
+				local[line] = struct{}{}
+			}
+			global[line] = struct{}{}
+		}
+		warpLineSum += len(local)
+	}
+	s.DistinctLines = len(global)
+	if s.Warps > 0 {
+		s.AvgWarpLines = float64(warpLineSum) / float64(s.Warps)
+	}
+	if s.Requests > 0 {
+		s.ReuseFraction = float64(reused) / float64(s.Requests)
+	}
+	return s
+}
+
+// DominantPCs returns the instructions ordered by descending dynamic
+// count, ties broken by PC.
+func (s Summary) DominantPCs() []uint64 {
+	pcs := make([]uint64, 0, len(s.PCs))
+	for pc := range s.PCs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if s.PCs[pcs[i]] != s.PCs[pcs[j]] {
+			return s.PCs[pcs[i]] > s.PCs[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+	return pcs
+}
+
+// String renders the headline numbers on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d warps, %d requests (%d LD / %d ST / %d BAR), %d lines (%.1f/warp), reuse %.2f",
+		s.Warps, s.Requests, s.Loads, s.Stores, s.Syncs,
+		s.DistinctLines, s.AvgWarpLines, s.ReuseFraction)
+}

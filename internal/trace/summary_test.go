@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func summaryFixture() []WarpTrace {
+	return []WarpTrace{
+		{WarpID: 0, Block: 0, Requests: []Request{
+			{PC: 0x10, Addr: 0x1000, Kind: Load},
+			{PC: 0x10, Addr: 0x1080, Kind: Load},
+			{PC: 0x10, Addr: 0x1000, Kind: Load}, // reuse
+			{PC: 0xB0, Kind: Sync},
+			{PC: 0x20, Addr: 0x2000, Kind: Store},
+		}},
+		{WarpID: 1, Block: 0, Requests: []Request{
+			{PC: 0x10, Addr: 0x1080, Kind: Load}, // shared line, but cold for this warp
+			{PC: 0xB0, Kind: Sync},
+			{PC: 0x20, Addr: 0x2080, Kind: Store},
+		}},
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	s := Summarize(summaryFixture(), 128)
+	if s.Warps != 2 {
+		t.Errorf("Warps = %d", s.Warps)
+	}
+	if s.Requests != 6 || s.Syncs != 2 {
+		t.Errorf("Requests = %d, Syncs = %d", s.Requests, s.Syncs)
+	}
+	if s.Loads != 4 || s.Stores != 2 {
+		t.Errorf("Loads/Stores = %d/%d", s.Loads, s.Stores)
+	}
+	// Lines: 0x1000, 0x1080, 0x2000, 0x2080 -> 4 distinct.
+	if s.DistinctLines != 4 {
+		t.Errorf("DistinctLines = %d", s.DistinctLines)
+	}
+	// Warp 0 touches 3 lines, warp 1 touches 2.
+	if s.AvgWarpLines != 2.5 {
+		t.Errorf("AvgWarpLines = %v", s.AvgWarpLines)
+	}
+	// One same-warp revisit out of 6 memory requests.
+	if got := s.ReuseFraction; got < 0.166 || got > 0.167 {
+		t.Errorf("ReuseFraction = %v", got)
+	}
+}
+
+func TestSummaryDominantPCs(t *testing.T) {
+	s := Summarize(summaryFixture(), 128)
+	dom := s.DominantPCs()
+	if len(dom) != 2 || dom[0] != 0x10 || dom[1] != 0x20 {
+		t.Errorf("DominantPCs = %#v", dom)
+	}
+	if s.PCs[0x10] != 4 || s.PCs[0x20] != 2 {
+		t.Errorf("PC counts = %v", s.PCs)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize(summaryFixture(), 0).String()
+	for _, want := range []string{"2 warps", "6 requests", "4 LD", "2 ST", "2 BAR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 0)
+	if s.Warps != 0 || s.Requests != 0 || s.ReuseFraction != 0 || s.AvgWarpLines != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary warp-trace format (coalesced streams, e.g. generated proxies):
+//
+//	magic   "GMAPWRP1"                  8 bytes
+//	name    uvarint length + bytes
+//	grid    uvarint
+//	block   uvarint
+//	warps   uvarint
+//	for each warp:
+//	    warpID   uvarint
+//	    blockID  uvarint
+//	    requests uvarint
+//	    for each request:
+//	        pc      uvarint (delta, zig-zag)
+//	        addr    uvarint (delta, zig-zag)
+//	        kind    1 byte
+//	        threads 1 byte
+
+const warpMagic = "GMAPWRP1"
+
+// ErrBadWarpMagic is returned when decoding data that is not a warp-trace
+// stream.
+var ErrBadWarpMagic = errors.New("trace: bad magic, not a G-MAP warp trace")
+
+// WarpFile bundles warp streams with the launch geometry they came from.
+type WarpFile struct {
+	Name     string
+	GridDim  int
+	BlockDim int
+	Warps    []WarpTrace
+}
+
+// WriteWarpsBinary encodes wf into w.
+func WriteWarpsBinary(w io.Writer, wf *WarpFile) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(warpMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(wf.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(wf.Name); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(wf.GridDim), uint64(wf.BlockDim), uint64(len(wf.Warps))} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	for i := range wf.Warps {
+		wt := &wf.Warps[i]
+		for _, v := range []uint64{uint64(wt.WarpID), uint64(wt.Block), uint64(len(wt.Requests))} {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		var prevPC, prevAddr uint64
+		for _, r := range wt.Requests {
+			if err := put(zigzag(int64(r.PC - prevPC))); err != nil {
+				return err
+			}
+			if err := put(zigzag(int64(r.Addr - prevAddr))); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(r.Kind)); err != nil {
+				return err
+			}
+			threads := r.Threads
+			if threads < 0 || threads > 255 {
+				threads = 0
+			}
+			if err := bw.WriteByte(byte(threads)); err != nil {
+				return err
+			}
+			prevPC, prevAddr = r.PC, r.Addr
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWarpsBinary decodes a stream written by WriteWarpsBinary.
+func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(warpMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != warpMagic {
+		return nil, ErrBadWarpMagic
+	}
+	get := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: truncated warp stream: %w", err)
+		}
+		return v, nil
+	}
+	nameLen, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, errTooLarge
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	grid, err := get()
+	if err != nil {
+		return nil, err
+	}
+	block, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nWarps, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nWarps > maxReasonableCount {
+		return nil, errTooLarge
+	}
+	wf := &WarpFile{
+		Name:     string(name),
+		GridDim:  int(grid),
+		BlockDim: int(block),
+		Warps:    make([]WarpTrace, nWarps),
+	}
+	for i := range wf.Warps {
+		wt := &wf.Warps[i]
+		id, err := get()
+		if err != nil {
+			return nil, err
+		}
+		blk, err := get()
+		if err != nil {
+			return nil, err
+		}
+		nReq, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if nReq > maxReasonableCount {
+			return nil, errTooLarge
+		}
+		wt.WarpID, wt.Block = int(id), int(blk)
+		wt.Requests = make([]Request, nReq)
+		var prevPC, prevAddr uint64
+		for j := range wt.Requests {
+			dpc, err := get()
+			if err != nil {
+				return nil, err
+			}
+			daddr, err := get()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated warp stream: %w", err)
+			}
+			if kind > byte(Sync) {
+				return nil, fmt.Errorf("trace: invalid request kind %d", kind)
+			}
+			threads, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated warp stream: %w", err)
+			}
+			prevPC += uint64(unzigzag(dpc))
+			prevAddr += uint64(unzigzag(daddr))
+			wt.Requests[j] = Request{
+				PC:      prevPC,
+				Addr:    prevAddr,
+				Kind:    Kind(kind),
+				WarpID:  int(id),
+				Threads: int(threads),
+			}
+		}
+	}
+	return wf, nil
+}

@@ -1,0 +1,627 @@
+package workloads
+
+import (
+	"github.com/uteda/gmap/internal/gpu"
+	"github.com/uteda/gmap/internal/kernelsim"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// The builders below model the memory behaviour of the named benchmarks.
+// Where Table 1 of the paper characterizes a benchmark (dominant PCs and
+// their frequencies, dominant inter-warp stride, dominant intra-thread
+// stride, reuse class), the synthetic kernel uses the same static PC values
+// and reproduces the same stride/reuse structure. Loop trip counts are the
+// scale knob: scale N multiplies per-thread work, which is how the
+// miniaturization experiment (Figure 8) grows original traces.
+
+func init() {
+	register(Spec{
+		Name:  "aes",
+		Suite: "ispass2009",
+		Description: "AES encryption: streaming 16B blocks per thread with " +
+			"round-table lookups into small shared T-boxes (high reuse).",
+		Reuse:   HighReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			const tBox = 4096 // one 4KB lookup table
+			return &kernelsim.Kernel{
+				Name:   "aes",
+				Launch: gpu.Linear1D(16, 128),
+				Seed:   0xae5,
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 10 * scale, Body: []kernelsim.Stmt{
+						// Input block, streaming and coalesced.
+						kernelsim.MemOp{PC: 0x10, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 16, IterCoef: []int64{16 * 2048}}},
+						// Four T-table lookups: data-dependent index within a
+						// small table that stays cache-resident.
+						kernelsim.MemOp{PC: 0x20, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1000, Scatter: tBox, Align: 4}},
+						kernelsim.MemOp{PC: 0x24, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x2000, Scatter: tBox, Align: 4}},
+						kernelsim.MemOp{PC: 0x28, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x3000, Scatter: tBox, Align: 4}},
+						kernelsim.MemOp{PC: 0x2c, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x4000, Scatter: tBox, Align: 4}},
+						// Output block.
+						kernelsim.MemOp{PC: 0x30, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x400000, TidCoef: 16, IterCoef: []int64{16 * 2048}}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "bp",
+		Suite: "rodinia",
+		Description: "Backprop layer forward: unit-stride weight reads " +
+			"(inter-warp stride 128) with medium reuse of activations.",
+		Reuse:   MedReuse,
+		Regular: true,
+		App: func(scale int) []*kernelsim.Kernel {
+			fwd, _ := ByName("bp")
+			// The weight-adjustment kernel revisits the forward pass's
+			// weight matrix (reads at 0x200000) and writes deltas.
+			adjust := &kernelsim.Kernel{
+				Name:   "bp_adjust",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 24 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x600, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x200000, TidCoef: 4, IterCoef: []int64{128}}},
+						kernelsim.MemOp{PC: 0x608, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1200000, TidCoef: 4, IterCoef: []int64{128}}},
+						kernelsim.MemOp{PC: 0x610, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x200000, TidCoef: 4, IterCoef: []int64{128}}},
+					}},
+				},
+			}
+			return []*kernelsim.Kernel{fwd.Build(scale), adjust}
+		},
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "bp",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					// Dominant phase: the three Table 1 PCs (0x3F8, 0x408,
+					// 0x478), unit element stride across threads, ±128B
+					// intra-thread stride across iterations.
+					kernelsim.Loop{Count: 36 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x3F8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x200000, TidCoef: 4, IterCoef: []int64{128}}},
+						kernelsim.MemOp{PC: 0x408, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x600000, TidCoef: 4, IterCoef: []int64{-128}, Const: 36 * 128}},
+						kernelsim.MemOp{PC: 0x478, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0xA00000, TidCoef: 4, IterCoef: []int64{128}}},
+					}},
+					// Layer boundary: the block synchronizes before the
+					// activation phase (bar.sync in the real kernel).
+					kernelsim.Barrier{PC: 0x4F0},
+					// Activation re-reads: a window that is revisited,
+					// giving the medium reuse level.
+					kernelsim.Loop{Count: 60 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x500, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0xE00000, TidCoef: 4, IterCoef: []int64{512}, Wrap: 2048}},
+						kernelsim.MemOp{PC: 0x508, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0xF00000, TidCoef: 4, IterCoef: []int64{512}, Wrap: 2048}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "bfs",
+		Suite: "rodinia",
+		Description: "Breadth-first search: coalesced frontier reads followed " +
+			"by data-dependent neighbor gathers with divergent visitation.",
+		Reuse:   LowReuse,
+		Regular: false,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "bfs",
+				Launch: gpu.Linear1D(32, 128),
+				Seed:   0xbf5,
+				Body: []kernelsim.Stmt{
+					kernelsim.MemOp{PC: 0x40, Kind: trace.Load,
+						Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4}},
+					kernelsim.Loop{Count: 16 * scale, Body: []kernelsim.Stmt{
+						kernelsim.If{
+							Pred: kernelsim.HashProb{P: 0.4},
+							Then: []kernelsim.Stmt{
+								// Neighbor gather over the whole edge array.
+								kernelsim.MemOp{PC: 0x48, Kind: trace.Load,
+									Addr: kernelsim.AddrExpr{Base: 0x800000, Scatter: 1 << 21, Align: 4}},
+								kernelsim.MemOp{PC: 0x50, Kind: trace.Store,
+									Addr: kernelsim.AddrExpr{Base: 0x1000000, Scatter: 1 << 20, Align: 4}},
+							},
+						},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "blk",
+		Suite: "cudasdk",
+		Description: "BlackScholes: pure streaming over option arrays in a " +
+			"grid-stride loop (intra-thread stride 245760, low reuse).",
+		Reuse:   LowReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			// 245760 = 4B x 61440 options per grid-stride step (Table 1).
+			const gridStride = 245760
+			return &kernelsim.Kernel{
+				Name:   "blk",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 20 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0xF0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+						kernelsim.MemOp{PC: 0xF8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x2000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+						kernelsim.MemOp{PC: 0x100, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x3000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+						kernelsim.MemOp{PC: 0x108, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x4000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+						kernelsim.MemOp{PC: 0x110, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x5000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "cp",
+		Suite: "ispass2009",
+		Description: "Coulombic potential: 64B-strided grid-point reads " +
+			"(inter-warp stride 2048) against a revisited atom window.",
+		Reuse:   MedReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "cp",
+				Launch: gpu.Linear1D(16, 128),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 12 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x208, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 64, IterCoef: []int64{-1024}, Const: 12 * 1024, Wrap: 1 << 20}},
+						kernelsim.MemOp{PC: 0x218, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x400000, TidCoef: 64, IterCoef: []int64{-1024}, Const: 12 * 1024, Wrap: 1 << 20}},
+						kernelsim.MemOp{PC: 0x220, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x700000, TidCoef: 64, IterCoef: []int64{-1024}, Const: 12 * 1024, Wrap: 1 << 20}},
+					}},
+					kernelsim.MemOp{PC: 0x230, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0xA00000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "fwt",
+		Suite: "cudasdk",
+		Description: "Fast Walsh transform: butterfly loads at a fixed " +
+			"19200B intra-thread step with medium reuse between stages.",
+		Reuse:   MedReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "fwt",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 24 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x458, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x800000, TidCoef: 4, IterCoef: []int64{19200}, Wrap: 19200 * 8}},
+						kernelsim.MemOp{PC: 0x460, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x800000, TidCoef: 4, IterCoef: []int64{19200}, Const: 19200 / 2, Wrap: 19200 * 8}},
+						kernelsim.MemOp{PC: 0x478, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x800000, TidCoef: 4, IterCoef: []int64{19200}, Wrap: 19200 * 8}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "gaussian",
+		Suite: "rodinia",
+		Description: "Gaussian elimination: per-column threads sweeping rows; " +
+			"pivot row broadcast plus strided row updates.",
+		Reuse:   MedReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			const rowBytes = 4096
+			return &kernelsim.Kernel{
+				Name:   "gaussian",
+				Launch: gpu.Linear1D(16, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 48 * scale, Body: []kernelsim.Stmt{
+						// Pivot row element: same line for the whole warp.
+						kernelsim.MemOp{PC: 0x60, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes}, Wrap: rowBytes * 16}},
+						// Own matrix element a[row][tid].
+						kernelsim.MemOp{PC: 0x68, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x900000, TidCoef: 4, IterCoef: []int64{rowBytes}}},
+						kernelsim.MemOp{PC: 0x70, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x900000, TidCoef: 4, IterCoef: []int64{rowBytes}}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "heartwall",
+		Suite: "rodinia",
+		Description: "Heartwall tracking: one dominant load (PC 0x900, 81% of " +
+			"references) sweeping a template window that is heavily revisited.",
+		Reuse:   HighReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "heartwall",
+				Launch: gpu.Linear1D(16, 128),
+				Body: []kernelsim.Stmt{
+					// Dominant: 81% of dynamic references from PC 0x900 with
+					// a 64B intra-thread stride inside an 8KB window.
+					kernelsim.Loop{Count: 160 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x900, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{64}, Wrap: 2048}},
+					}},
+					kernelsim.Loop{Count: 10 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x4a0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x300000, TidCoef: 4, IterCoef: []int64{-128}, Const: 10 * 128}},
+					}},
+					kernelsim.Loop{Count: 8 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x4a8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x500000, TidCoef: 4, IterCoef: []int64{1024}}},
+					}},
+					kernelsim.MemOp{PC: 0x4b0, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0x700000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "hotspot",
+		Suite: "rodinia",
+		Description: "Hotspot thermal simulation with pyramid blocking: halo " +
+			"effects yield no dominant stride and low temporal locality — the " +
+			"hardest workload for statistical cloning.",
+		Reuse:   LowReuse,
+		Regular: false,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "hotspot",
+				Launch: gpu.Linear1D(16, 128),
+				Seed:   0x407,
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 12 * scale, Body: []kernelsim.Stmt{
+						// Halo reads: effectively unpredictable offsets.
+						kernelsim.MemOp{PC: 0x80, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, Scatter: 1 << 19, Align: 4}},
+						kernelsim.MemOp{PC: 0x88, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x300000, Scatter: 1 << 19, Align: 4}},
+						// Interior stencil with irregular per-iteration
+						// offsets (pyramid shrinking).
+						kernelsim.MemOp{PC: 0x90, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x500000, TidCoef: 4, IterCoef: []int64{1313}}},
+						kernelsim.MemOp{PC: 0x98, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x500000, TidCoef: 4, IterCoef: []int64{-737}, Const: 12 * 737}},
+						kernelsim.If{Pred: kernelsim.HashProb{P: 0.5}, Then: []kernelsim.Stmt{
+							kernelsim.MemOp{PC: 0xA0, Kind: trace.Store,
+								Addr: kernelsim.AddrExpr{Base: 0x700000, Scatter: 1 << 18, Align: 4}},
+						}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "kmeans",
+		Suite: "rodinia",
+		Description: "K-means: a single dominant load (PC 0xe8, ~100%) reading " +
+			"a [point][feature] array column-wise (inter-warp stride 4352) with " +
+			"high reuse as clusters revisit features.",
+		Reuse:   HighReuse,
+		Regular: true,
+		App: func(scale int) []*kernelsim.Kernel {
+			// The real k-means iterates assignment until convergence: the
+			// same kernel re-launched, revisiting the same feature array.
+			k, _ := ByName("kmeans")
+			return []*kernelsim.Kernel{k.Build(scale), k.Build(scale), k.Build(scale)}
+		},
+		Build: func(scale int) *kernelsim.Kernel {
+			const featBytes = 136 // 34 features x 4B per point (Table 1: 4352/32)
+			return &kernelsim.Kernel{
+				Name:   "kmeans",
+				Launch: gpu.Linear1D(4, 128),
+				Body: []kernelsim.Stmt{
+					// Outer loop over clusters revisits every feature: the
+					// source of the benchmark's high reuse.
+					kernelsim.Loop{Count: 3 * scale, Body: []kernelsim.Stmt{
+						kernelsim.Loop{Count: 34, Body: []kernelsim.Stmt{
+							kernelsim.MemOp{PC: 0xe8, Kind: trace.Load,
+								Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: featBytes, IterCoef: []int64{0, 4}}},
+						}},
+					}},
+					kernelsim.MemOp{PC: 0xf0, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0x900000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "lib",
+		Suite: "ispass2009",
+		Description: "LIBOR Monte Carlo: two dominant loads (46% each) with a " +
+			"19200B intra-thread step over a revisited rate path (high reuse).",
+		Reuse:   HighReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "lib",
+				Launch: gpu.Linear1D(16, 128),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 96 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x1c68, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{19200}, Wrap: 19200 * 2}},
+						kernelsim.MemOp{PC: 0x1ce0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x200000, TidCoef: 4, IterCoef: []int64{19200}, Wrap: 19200 * 2}},
+					}},
+					kernelsim.Loop{Count: 8 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x1b40, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x300000, TidCoef: 4, IterCoef: []int64{19200}}},
+					}},
+					kernelsim.MemOp{PC: 0x1b80, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0x500000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "lps",
+		Suite: "ispass2009",
+		Description: "3D Laplace solver: regular stencil loads over a dense " +
+			"grid, neighbors one element and one row apart.",
+		Reuse:   MedReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			const rowBytes = 2048
+			return &kernelsim.Kernel{
+				Name:   "lps",
+				Launch: gpu.Linear1D(16, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 24 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0xB0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes}, Wrap: rowBytes * 32}},
+						kernelsim.MemOp{PC: 0xB8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes}, Const: -4, Wrap: rowBytes * 32}},
+						kernelsim.MemOp{PC: 0xC0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes}, Const: 4, Wrap: rowBytes * 32}},
+						kernelsim.MemOp{PC: 0xC8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes}, Const: rowBytes, Wrap: rowBytes * 32}},
+						kernelsim.MemOp{PC: 0xD0, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x500000, TidCoef: 4, IterCoef: []int64{rowBytes}}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "lud",
+		Suite: "rodinia",
+		Description: "LU decomposition: tiled access with many static " +
+			"instructions (no PC above ~4% of references) and an 11B-per-thread " +
+			"diagonal stride (inter-warp stride 352).",
+		Reuse:   LowReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			// Eight tile phases, each with its own PCs, so no instruction
+			// dominates — matching Table 1's 4%-per-PC profile.
+			body := make([]kernelsim.Stmt, 0, 16)
+			for phase := 0; phase < 8; phase++ {
+				base := uint64(0x100000 + phase*0x100000)
+				pc := uint64(0x1c00 + phase*0x28)
+				if phase > 0 {
+					// Tile phases are separated by block-wide barriers in
+					// the real decomposition.
+					body = append(body, kernelsim.Barrier{PC: pc + 0x10})
+				}
+				body = append(body, kernelsim.Loop{Count: 3 * scale, Body: []kernelsim.Stmt{
+					kernelsim.MemOp{PC: pc + 0x85, Kind: trace.Load,
+						Addr: kernelsim.AddrExpr{Base: base, TidCoef: 11, IterCoef: []int64{-128}, Const: 3 * 128}},
+					kernelsim.MemOp{PC: pc + 0xa8, Kind: trace.Load,
+						Addr: kernelsim.AddrExpr{Base: base + 0x40000, TidCoef: 11, IterCoef: []int64{-128}, Const: 3 * 128}},
+					kernelsim.MemOp{PC: pc + 0xc8, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: base + 0x80000, TidCoef: 11, IterCoef: []int64{-128}, Const: 3 * 128}},
+				}})
+			}
+			return &kernelsim.Kernel{
+				Name:   "lud",
+				Launch: gpu.Linear1D(16, 128),
+				Body:   body,
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "mum",
+		Suite: "ispass2009",
+		Description: "MUMmerGPU suffix-tree matching: pointer-chasing gathers " +
+			"with divergent match lengths.",
+		Reuse:   LowReuse,
+		Regular: false,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "mum",
+				Launch: gpu.Linear1D(16, 128),
+				Seed:   0x303,
+				Body: []kernelsim.Stmt{
+					kernelsim.MemOp{PC: 0x140, Kind: trace.Load,
+						Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4}},
+					kernelsim.Loop{Count: 10 * scale, Body: []kernelsim.Stmt{
+						// Tree-node fetch: scattered over the suffix tree.
+						kernelsim.MemOp{PC: 0x148, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x800000, Scatter: 1 << 22, Align: 16}},
+						kernelsim.If{
+							Pred: kernelsim.HashProb{P: 0.5},
+							Then: []kernelsim.Stmt{
+								kernelsim.MemOp{PC: 0x150, Kind: trace.Load,
+									Addr: kernelsim.AddrExpr{Base: 0x800000, Scatter: 1 << 22, Align: 16}},
+								kernelsim.MemOp{PC: 0x154, Kind: trace.Load,
+									Addr: kernelsim.AddrExpr{Base: 0xC00000, Scatter: 1 << 22, Align: 16}},
+							},
+							Else: []kernelsim.Stmt{
+								kernelsim.MemOp{PC: 0x158, Kind: trace.Store,
+									Addr: kernelsim.AddrExpr{Base: 0x2000000, TidCoef: 4}},
+							},
+						},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "nn",
+		Suite: "rodinia",
+		Description: "Nearest neighbor: perfectly coalesced streaming over " +
+			"record arrays, negligible reuse.",
+		Reuse:   LowReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "nn",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 20 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x180, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{32768}}},
+						kernelsim.MemOp{PC: 0x188, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x900000, TidCoef: 4, IterCoef: []int64{32768}}},
+						kernelsim.MemOp{PC: 0x190, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1100000, TidCoef: 4, IterCoef: []int64{32768}}},
+						kernelsim.MemOp{PC: 0x198, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1900000, TidCoef: 4, IterCoef: []int64{32768}}},
+					}},
+					kernelsim.MemOp{PC: 0x1a0, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0x2100000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "nw",
+		Suite: "rodinia",
+		Description: "Needleman-Wunsch: diagonal wavefront over a score matrix; " +
+			"regular strides that respond well to prefetching.",
+		Reuse:   MedReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			const rowBytes = 8192
+			return &kernelsim.Kernel{
+				Name:   "nw",
+				Launch: gpu.Linear1D(16, 128),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 48 * scale, Body: []kernelsim.Stmt{
+						// North-west, north and west neighbors of the cell.
+						kernelsim.MemOp{PC: 0x210, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes + 4}, Wrap: rowBytes * 16}},
+						kernelsim.MemOp{PC: 0x218, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes + 4}, Const: 4, Wrap: rowBytes * 16}},
+						kernelsim.MemOp{PC: 0x220, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes + 4}, Const: rowBytes, Wrap: rowBytes * 16}},
+						kernelsim.MemOp{PC: 0x228, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x100000, TidCoef: 4, IterCoef: []int64{rowBytes + 4}, Const: rowBytes + 4, Wrap: rowBytes * 16}},
+					}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "scalarprod",
+		Suite: "cudasdk",
+		Description: "Scalar product: two grid-stride streaming loads (48% " +
+			"each) over a footprint too large to cache.",
+		Reuse:   LowReuse,
+		Regular: true,
+		Build: func(scale int) *kernelsim.Kernel {
+			// Grid-stride loop: pos = tid; pos += totalThreads. Each
+			// iteration sweeps a fresh region, so warps never re-touch
+			// each other's lines — the canonical streaming-reduction
+			// pattern.
+			const gridStride = 4 * 32 * 256
+			return &kernelsim.Kernel{
+				Name:   "scalarprod",
+				Launch: gpu.Linear1D(32, 256),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 36 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0xd8, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+						kernelsim.MemOp{PC: 0xe0, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x4000000, TidCoef: 4, IterCoef: []int64{gridStride}}},
+					}},
+					kernelsim.MemOp{PC: 0xf8, Kind: trace.Store,
+						Addr: kernelsim.AddrExpr{Base: 0x8000000, TidCoef: 4}},
+				},
+			}
+		},
+	})
+
+	register(Spec{
+		Name:  "srad",
+		Suite: "rodinia",
+		Description: "SRAD speckle-reducing diffusion: row-strided image reads " +
+			"(inter-warp stride 16384, intra-thread stride -8192), low reuse.",
+		Reuse:   LowReuse,
+		Regular: true,
+		App: func(scale int) []*kernelsim.Kernel {
+			s1, _ := ByName("srad")
+			// srad2 applies the diffusion coefficients computed by srad1:
+			// it re-reads srad1's output region and updates the image.
+			s2 := &kernelsim.Kernel{
+				Name:   "srad2",
+				Launch: gpu.Linear1D(8, 128),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 12 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x400, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x3000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+						kernelsim.MemOp{PC: 0x408, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+						kernelsim.MemOp{PC: 0x410, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x1000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+					}},
+				},
+			}
+			return []*kernelsim.Kernel{s1.Build(scale), s2}
+		},
+		Build: func(scale int) *kernelsim.Kernel {
+			return &kernelsim.Kernel{
+				Name:   "srad",
+				Launch: gpu.Linear1D(8, 128),
+				Body: []kernelsim.Stmt{
+					kernelsim.Loop{Count: 12 * scale, Body: []kernelsim.Stmt{
+						kernelsim.MemOp{PC: 0x250, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x1000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+						kernelsim.MemOp{PC: 0x230, Kind: trace.Load,
+							Addr: kernelsim.AddrExpr{Base: 0x2000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+						kernelsim.MemOp{PC: 0x350, Kind: trace.Store,
+							Addr: kernelsim.AddrExpr{Base: 0x3000000, TidCoef: 512, IterCoef: []int64{-8192}, Const: 12 * 8192}},
+					}},
+				},
+			}
+		},
+	})
+}

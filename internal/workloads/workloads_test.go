@@ -1,0 +1,352 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/gpu"
+	"github.com/uteda/gmap/internal/reuse"
+	"github.com/uteda/gmap/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry holds %d benchmarks, want 18: %v", len(all), Names())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("All() not sorted: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("kmeans"); !ok {
+		t.Error("kmeans missing")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestTable1Set(t *testing.T) {
+	set := Table1Set()
+	if len(set) != 10 {
+		t.Fatalf("Table1Set has %d entries", len(set))
+	}
+	if set[0].Name != "heartwall" || set[9].Name != "fwt" {
+		t.Errorf("Table1Set order wrong: %v", set)
+	}
+}
+
+func TestAllKernelsValidAndEmulate(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			k := s.Build(1)
+			if err := k.Validate(); err != nil {
+				t.Fatalf("invalid kernel: %v", err)
+			}
+			tr, err := s.Trace(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.NumAccesses() == 0 {
+				t.Fatal("empty trace")
+			}
+			if tr.Name != s.Name {
+				t.Errorf("trace name %q != spec name %q", tr.Name, s.Name)
+			}
+		})
+	}
+}
+
+func TestScaleGrowsTraces(t *testing.T) {
+	for _, name := range []string{"kmeans", "blk", "bfs"} {
+		s, _ := ByName(name)
+		t1, err := s.Trace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t4, err := s.Trace(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t4.NumAccesses() < 3*t1.NumAccesses() {
+			t.Errorf("%s: scale 4 trace (%d) not ~4x scale 1 (%d)",
+				name, t4.NumAccesses(), t1.NumAccesses())
+		}
+	}
+}
+
+func TestScaleClamped(t *testing.T) {
+	s, _ := ByName("nn")
+	a, err := s.Trace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAccesses() != b.NumAccesses() {
+		t.Error("scale 0 not clamped to 1")
+	}
+}
+
+// interWarpStride measures the dominant line-address stride between
+// consecutive warps' first access to a PC, after coalescing.
+func interWarpStride(t *testing.T, name string, pc uint64) (int64, float64) {
+	t.Helper()
+	s, ok := ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	tr, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warps := gpu.NewCoalescer(128).BuildWarpTraces(tr)
+	first := make(map[int]uint64) // warp -> first line for pc
+	for _, w := range warps {
+		for _, r := range w.Requests {
+			if r.PC == pc {
+				if _, seen := first[w.WarpID]; !seen {
+					first[w.WarpID] = r.Addr
+				}
+			}
+		}
+	}
+	h := stats.NewHistogram()
+	for w := 1; w < len(warps); w++ {
+		a, okA := first[w-1]
+		b, okB := first[w]
+		if okA && okB {
+			h.Add(int64(b) - int64(a))
+		}
+	}
+	key, freq, ok := h.Mode()
+	if !ok {
+		t.Fatalf("%s: no inter-warp strides for pc %#x", name, pc)
+	}
+	return key, freq
+}
+
+func TestKmeansInterWarpStride(t *testing.T) {
+	// Table 1: kmeans PC 0xe8 dominant inter-warp stride 4352.
+	stride, freq := interWarpStride(t, "kmeans", 0xe8)
+	if stride != 4352 {
+		t.Errorf("kmeans inter-warp stride = %d, want 4352", stride)
+	}
+	if freq < 0.5 {
+		t.Errorf("kmeans dominant stride freq = %.2f, want > 0.5", freq)
+	}
+}
+
+func TestBlkInterWarpStride(t *testing.T) {
+	// Table 1: blk dominant inter-warp stride 128.
+	stride, _ := interWarpStride(t, "blk", 0xF0)
+	if stride != 128 {
+		t.Errorf("blk inter-warp stride = %d, want 128", stride)
+	}
+}
+
+func TestSradInterWarpStride(t *testing.T) {
+	// Table 1: srad dominant inter-warp stride 16384.
+	stride, _ := interWarpStride(t, "srad", 0x250)
+	if stride != 16384 {
+		t.Errorf("srad inter-warp stride = %d, want 16384", stride)
+	}
+}
+
+func TestKmeansDominantPC(t *testing.T) {
+	// Table 1: PC 0xe8 accounts for ~100% of kmeans references.
+	s, _ := ByName("kmeans")
+	tr, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPC := stats.NewHistogram()
+	for _, tt := range tr.Threads {
+		for _, a := range tt.Accesses {
+			byPC.Add(int64(a.PC))
+		}
+	}
+	if f := byPC.Freq(0xe8); f < 0.98 {
+		t.Errorf("kmeans PC 0xe8 frequency = %.3f, want ~1.0", f)
+	}
+}
+
+func TestHeartwallDominantPC(t *testing.T) {
+	// Table 1: PC 0x900 accounts for ~81% of heartwall references.
+	s, _ := ByName("heartwall")
+	tr, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPC := stats.NewHistogram()
+	for _, tt := range tr.Threads {
+		for _, a := range tt.Accesses {
+			byPC.Add(int64(a.PC))
+		}
+	}
+	if f := byPC.Freq(0x900); f < 0.75 || f > 0.95 {
+		t.Errorf("heartwall PC 0x900 frequency = %.3f, want ~0.81", f)
+	}
+}
+
+func TestLudNoDominantPC(t *testing.T) {
+	// Table 1: lud's busiest PCs are each only ~4% of references; assert
+	// no PC exceeds 10%.
+	s, _ := ByName("lud")
+	tr, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPC := stats.NewHistogram()
+	for _, tt := range tr.Threads {
+		for _, a := range tt.Accesses {
+			byPC.Add(int64(a.PC))
+		}
+	}
+	if _, f, _ := byPC.Mode(); f > 0.10 {
+		t.Errorf("lud max PC frequency = %.3f, want < 0.10", f)
+	}
+}
+
+// reuseFraction returns the fraction of per-thread accesses with finite
+// cacheline reuse distance — the intra-thread temporal locality that
+// Table 1's reuse column classifies.
+func reuseFraction(t *testing.T, name string) float64 {
+	t.Helper()
+	s, _ := ByName(name)
+	tr, err := s.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, reused := 0, 0
+	for _, tt := range tr.Threads {
+		trk := reuse.NewTracker(len(tt.Accesses))
+		for _, a := range tt.Accesses {
+			if trk.Access(a.Addr/128) != reuse.Cold {
+				reused++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatalf("%s: empty trace", name)
+	}
+	return float64(reused) / float64(total)
+}
+
+func TestReuseLevels(t *testing.T) {
+	// Table 1 thresholds: low < 30%, med 30-70%, high > 70%.
+	for _, c := range []struct {
+		name     string
+		min, max float64
+	}{
+		{"kmeans", 0.70, 1.0},
+		{"heartwall", 0.70, 1.0},
+		{"lib", 0.70, 1.0},
+		{"blk", 0.0, 0.30},
+		{"scalarprod", 0.0, 0.30},
+		{"srad", 0.0, 0.30},
+		{"bp", 0.30, 0.85},
+	} {
+		if f := reuseFraction(t, c.name); f < c.min || f > c.max {
+			t.Errorf("%s warp-level reuse fraction = %.3f, want [%.2f, %.2f]",
+				c.name, f, c.min, c.max)
+		}
+	}
+}
+
+func TestDivergentWorkloadsHaveMultiplePaths(t *testing.T) {
+	for _, name := range []string{"bfs", "mum", "hotspot"} {
+		s, _ := ByName(name)
+		if s.Regular {
+			t.Errorf("%s should be marked irregular", name)
+		}
+		tr, err := s.Trace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distinct per-thread access counts indicate control divergence.
+		lens := make(map[int]bool)
+		for _, tt := range tr.Threads {
+			lens[len(tt.Accesses)] = true
+		}
+		if name != "hotspot" && len(lens) < 2 {
+			t.Errorf("%s: all threads executed identical-length paths", name)
+		}
+	}
+}
+
+func TestTraceSizesReasonable(t *testing.T) {
+	// Keep the evaluation tractable: warp-request streams between 3K and
+	// 200K per benchmark at scale 1.
+	c := gpu.NewCoalescer(128)
+	for _, s := range All() {
+		tr, err := s.Trace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, w := range c.BuildWarpTraces(tr) {
+			n += len(w.Requests)
+		}
+		if n < 3000 || n > 200000 {
+			t.Errorf("%s: %d warp requests at scale 1, want 3K-200K", s.Name, n)
+		}
+	}
+}
+
+func TestReuseLevelString(t *testing.T) {
+	if LowReuse.String() != "low" || MedReuse.String() != "med" || HighReuse.String() != "high" {
+		t.Error("ReuseLevel strings wrong")
+	}
+}
+
+func TestAppTracesValid(t *testing.T) {
+	// Every benchmark's application form must emulate and validate, and
+	// multi-kernel apps must keep per-kernel geometry consistent.
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			app, err := s.AppTrace(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			geom := map[string][2]int{}
+			for _, k := range app.Launches {
+				if g, seen := geom[k.Name]; seen {
+					if g[0] != k.GridDim || g[1] != k.BlockDim {
+						t.Fatalf("kernel %q changes geometry across launches", k.Name)
+					}
+				}
+				geom[k.Name] = [2]int{k.GridDim, k.BlockDim}
+			}
+		})
+	}
+}
+
+func TestAppTraceScaleClamped(t *testing.T) {
+	s, _ := ByName("kmeans")
+	a, err := s.AppTrace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AppTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAccesses() != b.NumAccesses() {
+		t.Error("app scale 0 not clamped to 1")
+	}
+}
