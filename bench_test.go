@@ -145,6 +145,35 @@ func BenchmarkFig8Miniaturization(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSerial and BenchmarkSweepParallel run the same Figure 6a
+// L1 sweep on one worker versus every CPU. Their results are required to
+// be bit-identical (see internal/eval's TestParallelMatchesSerial); the
+// ns/op ratio is the execution engine's speedup, recorded in
+// BENCH_runner.json.
+func BenchmarkSweepSerial(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = 1
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = 0 // all CPUs
+	for i := 0; i < b.N; i++ {
+		f, err := opts.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, f)
+	}
+}
+
 // BenchmarkTable2Report renders the Table 2 configuration (trivially fast;
 // included so every table has a bench target).
 func BenchmarkTable2Report(b *testing.B) {

@@ -3,19 +3,29 @@
 // configuration), Figures 6a-6e (cache, prefetcher and scheduler sweeps),
 // Figure 7 (DRAM exploration) and Figure 8 (miniaturization).
 //
+// Sweeps execute on the parallel experiment engine: -workers controls the
+// pool size (default: every CPU; results are identical to a serial run),
+// and -checkpoint/-resume make runs restartable — Ctrl-C a long sweep,
+// re-run with -resume, and finished simulation points are not repeated.
+//
 // Usage:
 //
 //	gmap-eval -exp fig6a
 //	gmap-eval -exp all -out results.txt
 //	gmap-eval -exp fig7 -benchmarks aes,kmeans,bfs -cores 8
+//	gmap-eval -exp all -checkpoint run.ckpt -resume -summary run.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/uteda/gmap"
 	"github.com/uteda/gmap/internal/eval"
@@ -31,14 +41,32 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "generation seed")
 		out         = flag.String("out", "", "write the report to a file (default stdout)")
 		quiet       = flag.Bool("quiet", false, "suppress per-benchmark progress")
+		workers     = flag.Int("workers", 0, "parallel simulation jobs (0 = all CPUs, 1 = serial)")
+		checkpoint  = flag.String("checkpoint", "", "stream completed simulation points to this JSONL file")
+		resume      = flag.Bool("resume", false, "skip points already recorded in -checkpoint")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-simulation-point time limit (0 = none)")
+		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON) to this file")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
+	// Ctrl-C cancels in-flight sweeps cleanly: completed points are
+	// already in the checkpoint, so a -resume re-run picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := gmap.ExperimentOptions{
 		Scale:       *scale,
 		ScaleFactor: *scaleFactor,
 		Cores:       *cores,
 		Seed:        *seed,
+		Workers:     *workers,
+		Checkpoint:  *checkpoint,
+		Resume:      *resume,
+		JobTimeout:  *jobTimeout,
+		Context:     ctx,
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
@@ -58,9 +86,26 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := gmap.Experiments(w, *exp, opts); err != nil {
-		fatal(err)
+	runErr := gmap.Experiments(w, *exp, &opts)
+	if *summary != "" {
+		if err := writeSummary(*summary, &opts); err != nil {
+			fatal(err)
+		}
 	}
+	if runErr != nil {
+		if ctx.Err() != nil && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "gmap-eval: interrupted; finished points saved to %s, re-run with -resume\n", *checkpoint)
+		}
+		fatal(runErr)
+	}
+}
+
+func writeSummary(path string, opts *gmap.ExperimentOptions) error {
+	data, err := json.MarshalIndent(opts.ExecStats(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -8,17 +8,23 @@
 //	gmap-sim -workload kmeans
 //	gmap-sim -proxy kmeans.proxy.wtrc -l1-size 32768 -l1-ways 8
 //	gmap-sim -in app.trc -scheduler gto -l1-prefetch
+//	gmap-sim -workload bfs -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/uteda/gmap"
 	"github.com/uteda/gmap/internal/cache"
 	"github.com/uteda/gmap/internal/dram"
 	"github.com/uteda/gmap/internal/prefetch"
+	"github.com/uteda/gmap/internal/runner"
 )
 
 func main() {
@@ -49,6 +55,7 @@ func main() {
 		channels = flag.Int("dram-channels", 8, "DRAM channels")
 		busBytes = flag.Int("dram-bus", 8, "DRAM bus width in bytes")
 		mapping  = flag.String("dram-mapping", "RoBaRaCoCh", "DRAM address mapping: RoBaRaCoCh or ChRaBaRoCo")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -103,7 +110,7 @@ func main() {
 		cfg.L2Prefetcher = p
 	}
 
-	metrics, name, err := run(*workload, *scale, *in, *proxyIn, cfg)
+	metrics, name, err := runSim(*workload, *scale, *in, *proxyIn, cfg, *timeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +130,31 @@ func main() {
 	fmt.Printf("DRAM avg queue:    %.2f\n", metrics.DRAM.AvgQueueLen())
 	fmt.Printf("DRAM read latency: %.1f cycles\n", metrics.DRAM.AvgReadLatency())
 	fmt.Printf("DRAM write latency:%.1f cycles\n", metrics.DRAM.AvgWriteLatency())
+}
+
+// runSim executes the simulation as a job on the experiment engine: a
+// -timeout overrun or a panic in a pathological configuration surfaces
+// as an ordinary error, and Ctrl-C cancels cleanly.
+func runSim(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig, timeout time.Duration) (gmap.Metrics, string, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	type simOut struct {
+		Metrics gmap.Metrics
+		Name    string
+	}
+	job := runner.Job[simOut]{
+		Key: runner.JobKey("gmap-sim", workload, in, proxyIn),
+		Run: func(ctx context.Context) (simOut, error) {
+			m, name, err := run(workload, scale, in, proxyIn, cfg)
+			return simOut{Metrics: m, Name: name}, err
+		},
+	}
+	results, _, err := runner.Run(ctx, runner.Options{Workers: 1, Timeout: timeout}, []runner.Job[simOut]{job})
+	if err != nil {
+		return gmap.Metrics{}, "", err
+	}
+	r := results[0]
+	return r.Value.Metrics, r.Value.Name, r.Err
 }
 
 func run(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig) (gmap.Metrics, string, error) {

@@ -87,7 +87,11 @@ type (
 	// Comparison holds paired original/proxy measurements over a sweep.
 	Comparison = core.Comparison
 
-	// ExperimentOptions parameterizes the paper-evaluation harness.
+	// ExperimentOptions parameterizes the paper-evaluation harness,
+	// including the execution engine's Workers (parallel simulation
+	// jobs; parallel runs are bit-identical to serial ones), Checkpoint
+	// and Resume (restartable sweeps via a JSONL point log) and Context
+	// (cancellation) knobs.
 	ExperimentOptions = eval.Options
 )
 
@@ -244,7 +248,9 @@ func ReadProxy(r io.Reader) (*Proxy, error) {
 
 // Experiments runs one of the paper's experiments by id ("table1",
 // "table2", "fig6a".."fig6e", "fig7", "fig8", or "all") and writes the
-// report to w.
-func Experiments(w io.Writer, id string, opts ExperimentOptions) error {
+// report to w. Sweeps execute on the parallel engine per opts.Workers;
+// execution statistics accumulate into opts (see
+// ExperimentOptions.ExecStats), which is why it is passed by pointer.
+func Experiments(w io.Writer, id string, opts *ExperimentOptions) error {
 	return opts.Run(w, id)
 }

@@ -135,7 +135,7 @@ func TestCoalesce(t *testing.T) {
 func TestExperimentsFacade(t *testing.T) {
 	var buf bytes.Buffer
 	opts := ExperimentOptions{Benchmarks: []string{"nn"}, Cores: 2}
-	if err := Experiments(&buf, "table2", opts); err != nil {
+	if err := Experiments(&buf, "table2", &opts); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "L1 Cache") {

@@ -1,13 +1,15 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"github.com/uteda/gmap/internal/core"
-	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/workloads"
@@ -49,12 +51,67 @@ type AblationResult struct {
 	// AvgL1 and AvgL2 are per-variant averages over benchmarks.
 	AvgL1, AvgL2 []float64
 	Elapsed      time.Duration
+	// Exec summarizes the execution engine's work for the study.
+	Exec runner.Stats
+}
+
+// ablSample is one configuration's L1/L2 miss-rate pair, for either the
+// original stream or one variant's proxy.
+type ablSample struct {
+	L1 float64 `json:"l1"`
+	L2 float64 `json:"l2"`
+}
+
+// variantCache builds each (benchmark, variant) proxy workload at most
+// once, on the first job that needs it.
+type variantCache struct {
+	o  *Options
+	wl *workloadCache
+	mu sync.Mutex
+	m  map[string]*variantEntry
+}
+
+type variantEntry struct {
+	once sync.Once
+	w    *core.Workload
+	err  error
+}
+
+func (c *variantCache) get(benchmark string, v AblationVariant) (*core.Workload, error) {
+	key := benchmark + "\x00" + v.Name
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &variantEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		base, err := c.wl.get(benchmark)
+		if err != nil {
+			e.err = err
+			return
+		}
+		proxy, err := synth.Generate(base.Profile, synth.Options{
+			Seed: c.o.Seed, ScaleFactor: c.o.ScaleFactor, Ablation: v.Abl,
+		})
+		if err != nil {
+			e.err = fmt.Errorf("eval ablation %s/%s: %w", benchmark, v.Name, err)
+			return
+		}
+		w := *base
+		w.Proxy = proxy
+		e.w = &w
+	})
+	return e.w, e.err
 }
 
 // Ablation measures how much each beyond-paper generation mechanism
 // (footprint windows, per-cluster templates, stride run lengths, reuse
 // replay) contributes to clone accuracy, by disabling them one at a time
-// (DESIGN.md §5).
+// (DESIGN.md §5). The original side is variant-independent and simulated
+// once per configuration; originals and every variant's proxies all run
+// as independent execution-engine jobs.
 func (o *Options) Ablation() (*AblationResult, error) {
 	o.fillDefaults()
 	start := time.Now()
@@ -75,48 +132,86 @@ func (o *Options) Ablation() (*AblationResult, error) {
 		benchmarks = []string{"kmeans", "cp", "bp", "heartwall", "srad", "bfs"}
 	}
 	gens := L1Sweep(o.Cores)
+	wl := o.workloads()
+	vc := &variantCache{o: o, wl: wl, m: make(map[string]*variantEntry)}
+
+	// Jobs: originals first (benchmark-major), then proxies
+	// (benchmark, variant, configuration), all in one pool drain.
+	var jobs []runner.Job[ablSample]
 	for _, name := range benchmarks {
-		base, err := core.Prepare(name, o.Scale, profiler.DefaultConfig(),
-			synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor})
-		if err != nil {
-			return nil, err
+		name := name
+		for _, g := range gens {
+			g := g
+			jobs = append(jobs, runner.Job[ablSample]{
+				Key: o.jobKey("ablation", name, "orig", g.Label),
+				Run: func(ctx context.Context) (ablSample, error) {
+					w, err := wl.get(name)
+					if err != nil {
+						return ablSample{}, err
+					}
+					cfg, err := g.Make()
+					if err != nil {
+						return ablSample{}, err
+					}
+					om, err := w.SimulateOriginal(cfg)
+					if err != nil {
+						return ablSample{}, err
+					}
+					return ablSample{L1: om.L1MissRate(), L2: om.L2MissRate()}, nil
+				},
+			})
 		}
-		// The original side is variant-independent: simulate the sweep once.
+	}
+	origJobs := len(jobs)
+	for _, name := range benchmarks {
+		name := name
+		for _, v := range variants {
+			v := v
+			for _, g := range gens {
+				g := g
+				jobs = append(jobs, runner.Job[ablSample]{
+					Key: o.jobKey("ablation", name, "variant="+v.Name, g.Label),
+					Run: func(ctx context.Context) (ablSample, error) {
+						w, err := vc.get(name, v)
+						if err != nil {
+							return ablSample{}, err
+						}
+						cfg, err := g.Make()
+						if err != nil {
+							return ablSample{}, err
+						}
+						pm, err := w.SimulateProxy(cfg)
+						if err != nil {
+							return ablSample{}, err
+						}
+						return ablSample{L1: pm.L1MissRate(), L2: pm.L2MissRate()}, nil
+					},
+				})
+			}
+		}
+	}
+	results, st, err := runJobs(o, "ablation", jobs)
+	if err != nil {
+		return nil, fmt.Errorf("eval ablation: %w", err)
+	}
+	if err := collectErrors("ablation", results); err != nil {
+		return nil, err
+	}
+	for bi, name := range benchmarks {
 		origL1 := make([]float64, len(gens))
 		origL2 := make([]float64, len(gens))
-		for gi, g := range gens {
-			cfg, err := g.Make()
-			if err != nil {
-				return nil, err
-			}
-			om, err := base.SimulateOriginal(cfg)
-			if err != nil {
-				return nil, err
-			}
-			origL1[gi], origL2[gi] = om.L1MissRate(), om.L2MissRate()
+		for gi := range gens {
+			s := results[bi*len(gens)+gi].Value
+			origL1[gi], origL2[gi] = s.L1, s.L2
 		}
 		row := AblationRow{Benchmark: name}
-		for vi, v := range variants {
-			proxy, err := synth.Generate(base.Profile, synth.Options{
-				Seed: o.Seed, ScaleFactor: o.ScaleFactor, Ablation: v.Abl,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("eval ablation %s/%s: %w", name, v.Name, err)
-			}
-			w := *base
-			w.Proxy = proxy
+		for vi := range variants {
+			base := origJobs + (bi*len(variants)+vi)*len(gens)
 			var l1, l2 float64
-			for gi, g := range gens {
-				cfg, err := g.Make()
-				if err != nil {
-					return nil, err
-				}
-				pm, err := w.SimulateProxy(cfg)
-				if err != nil {
-					return nil, err
-				}
-				l1 += stats.AbsError(origL1[gi], pm.L1MissRate()) / float64(len(gens))
-				l2 += stats.AbsError(origL2[gi], pm.L2MissRate()) / float64(len(gens))
+			for gi := range gens {
+				s := results[base+gi].Value
+				l1 += stats.AbsError(origL1[gi], s.L1) / float64(len(gens))
+				l2 += stats.AbsError(origL2[gi], s.L2) / float64(len(gens))
 			}
 			row.L1Err = append(row.L1Err, l1)
 			row.L2Err = append(row.L2Err, l2)
@@ -128,6 +223,7 @@ func (o *Options) Ablation() (*AblationResult, error) {
 			name, row.L1Err[0], row.L1Err[len(row.L1Err)-1])
 	}
 	res.Elapsed = time.Since(start)
+	res.Exec = st
 	return res, nil
 }
 

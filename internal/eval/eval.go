@@ -1,12 +1,16 @@
 package eval
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"github.com/uteda/gmap/internal/core"
 	"github.com/uteda/gmap/internal/memsim"
 	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/workloads"
@@ -24,8 +28,41 @@ type Options struct {
 	Seed uint64
 	// Cores overrides the simulated SM count (0 = Table 2's 15).
 	Cores int
-	// Progress, when non-nil, receives one line per completed benchmark.
+	// Progress, when non-nil, receives one line per completed benchmark
+	// plus live sweep-progress lines. Delivery is serialized: concurrent
+	// jobs never interleave partial lines.
 	Progress func(format string, args ...interface{})
+
+	// Workers is the parallel simulation job count: 0 uses every CPU, 1
+	// forces serial execution. Every simulation point owns its seeded
+	// RNG, so parallel runs produce results identical to serial ones.
+	Workers int
+	// Checkpoint, when non-empty, streams each completed simulation
+	// point to a JSONL file keyed by a stable job hash (experiment,
+	// benchmark, configuration, seed, scale, scale factor, cores).
+	Checkpoint string
+	// Resume skips simulation points already recorded in Checkpoint, so
+	// an interrupted run picks up where it stopped.
+	Resume bool
+	// Context, when non-nil, cancels an in-flight evaluation (e.g. on
+	// SIGINT); completed points remain in the checkpoint.
+	Context context.Context
+	// JobTimeout, when non-zero, bounds each simulation point's wall
+	// time; a timed-out point fails that job without killing the sweep.
+	JobTimeout time.Duration
+
+	// progressMu serializes Progress delivery; exec accumulates runner
+	// statistics. Both are pointers so copies of an Options value share
+	// them.
+	progressMu *sync.Mutex
+	exec       *execAccum
+}
+
+// execAccum totals runner statistics across every sweep this Options
+// value executes.
+type execAccum struct {
+	mu    sync.Mutex
+	total runner.Stats
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -46,18 +83,141 @@ func (o *Options) fillDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.progressMu == nil {
+		o.progressMu = &sync.Mutex{}
+	}
+	if o.exec == nil {
+		o.exec = &execAccum{}
+	}
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
-	if o.Progress != nil {
-		o.Progress(format, args...)
+	if o.Progress == nil {
+		return
 	}
+	o.progressMu.Lock()
+	defer o.progressMu.Unlock()
+	o.Progress(format, args...)
+}
+
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// ExecStats returns the accumulated execution summary (jobs completed,
+// failed, resumed; wall and summed work time; jobs/sec) across every
+// sweep run through this Options value.
+func (o *Options) ExecStats() runner.Stats {
+	o.fillDefaults()
+	o.exec.mu.Lock()
+	defer o.exec.mu.Unlock()
+	return o.exec.total
+}
+
+// jobKey builds a simulation point's stable checkpoint identity. The
+// configuration is digested via its sweep label, which uniquely encodes
+// the swept parameters; everything else that shapes the result — the
+// benchmark, seed, workload scale, miniaturization factor and core
+// count — is mixed in explicitly, so runs with different options never
+// share checkpoint entries.
+func (o *Options) jobKey(experiment, benchmark string, parts ...string) string {
+	base := []string{
+		"gmap-eval/v1", experiment, benchmark,
+		"seed=" + strconv.FormatUint(o.Seed, 10),
+		"scale=" + strconv.Itoa(o.Scale),
+		"sf=" + strconv.FormatFloat(o.ScaleFactor, 'g', -1, 64),
+		"cores=" + strconv.Itoa(o.Cores),
+	}
+	return runner.JobKey(append(base, parts...)...)
+}
+
+// runJobs drains jobs through the execution engine with this run's
+// worker count, checkpointing and progress surface, and accumulates the
+// runner statistics. Job-level failures are left in the results for the
+// caller to collect; the error return is cancellation only.
+func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runner.Result[R], runner.Stats, error) {
+	lastDecile := -1
+	ropts := runner.Options{
+		Workers:    o.Workers,
+		Timeout:    o.JobTimeout,
+		Checkpoint: o.Checkpoint,
+		Resume:     o.Resume,
+		OnEvent: func(e runner.Event) {
+			if e.Kind == runner.JobFailed {
+				o.logf("%s job %s failed: %v", experiment, e.Key, e.Err)
+			}
+			if e.Total < 20 {
+				return // per-benchmark lines cover small sweeps
+			}
+			if decile := e.Finished() * 10 / e.Total; decile > lastDecile {
+				lastDecile = decile
+				o.logf("%s %s", experiment, e.ProgressLine())
+			}
+		},
+	}
+	results, st, err := runner.Run(o.ctx(), ropts, jobs)
+	o.exec.mu.Lock()
+	o.exec.total = o.exec.total.Add(st)
+	o.exec.mu.Unlock()
+	return results, st, err
+}
+
+// collectErrors summarizes job-level failures after a sweep drains.
+func collectErrors[R any](experiment string, results []runner.Result[R]) error {
+	var first error
+	var n int
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+			if first == nil {
+				first = r.Err
+			}
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	return fmt.Errorf("eval %s: %d/%d jobs failed; first: %w", experiment, n, len(results), first)
 }
 
 // prepare builds the workload pipeline for one benchmark.
 func (o *Options) prepare(name string) (*core.Workload, error) {
 	pcfg := profiler.DefaultConfig()
 	return core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor})
+}
+
+// workloadCache builds each benchmark's pipeline at most once, on the
+// first job that needs it — so a fully checkpointed benchmark is never
+// re-profiled on resume.
+type workloadCache struct {
+	o  *Options
+	mu sync.Mutex
+	m  map[string]*workloadEntry
+}
+
+type workloadEntry struct {
+	once sync.Once
+	w    *core.Workload
+	err  error
+}
+
+func (o *Options) workloads() *workloadCache {
+	return &workloadCache{o: o, m: make(map[string]*workloadEntry)}
+}
+
+func (c *workloadCache) get(name string) (*core.Workload, error) {
+	c.mu.Lock()
+	e := c.m[name]
+	if e == nil {
+		e = &workloadEntry{}
+		c.m[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.w, e.err = c.o.prepare(name) })
+	return e.w, e.err
 }
 
 // BenchResult is one benchmark's row in a figure: clone error and
@@ -87,6 +247,9 @@ type FigureResult struct {
 	AvgCorrelation float64
 	// Elapsed is the wall-clock cost of regenerating the figure.
 	Elapsed time.Duration
+	// Exec summarizes the execution engine's work for this figure
+	// (jobs completed/failed/resumed, throughput).
+	Exec runner.Stats
 }
 
 // finalize computes the aggregate row.
@@ -135,60 +298,90 @@ func correlation(orig, prox []float64) float64 {
 	return r
 }
 
-// runSweep compares original and proxy over a sweep for one metric. When
-// proxyGens is nil the same generators drive both sides; Figure 6e passes
-// a different proxy-side policy (SchedPself approximating GTO).
-func (o *Options) runSweep(w *core.Workload, gens, proxyGens []ConfigGen, metric core.Metric, asRate bool) (BenchResult, error) {
+// pointSample is one simulation point's paired measurement — the
+// checkpointed unit of figure sweeps.
+type pointSample struct {
+	Orig float64 `json:"orig"`
+	Prox float64 `json:"prox"`
+}
+
+// simPoint simulates one configuration on both sides of a workload.
+// Configurations are constructed inside the job because prefetchers
+// carry training state that must not leak across runs.
+func simPoint(w *core.Workload, og, pg ConfigGen, metric core.Metric) (pointSample, error) {
+	ocfg, err := og.Make()
+	if err != nil {
+		return pointSample{}, fmt.Errorf("eval: %s: %w", og.Label, err)
+	}
+	om, err := w.SimulateOriginal(ocfg)
+	if err != nil {
+		return pointSample{}, err
+	}
+	pcfg, err := pg.Make()
+	if err != nil {
+		return pointSample{}, fmt.Errorf("eval: %s: %w", pg.Label, err)
+	}
+	pm, err := w.SimulateProxy(pcfg)
+	if err != nil {
+		return pointSample{}, err
+	}
+	return pointSample{Orig: metric.Fn(om), Prox: metric.Fn(pm)}, nil
+}
+
+// runFigure evaluates a metric sweep across all selected benchmarks: one
+// execution-engine job per (benchmark, configuration) point, results
+// reassembled in sweep order so parallel runs reproduce serial output
+// exactly. When proxyGens is nil the same generators drive both sides;
+// Figure 6e passes a different proxy-side policy (SchedPself
+// approximating GTO).
+func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, gens, proxyGens []ConfigGen) (*FigureResult, error) {
+	o.fillDefaults()
 	if proxyGens == nil {
 		proxyGens = gens
 	}
 	if len(proxyGens) != len(gens) {
-		return BenchResult{}, fmt.Errorf("eval: %d original configs vs %d proxy configs", len(gens), len(proxyGens))
+		return nil, fmt.Errorf("eval: %d original configs vs %d proxy configs", len(gens), len(proxyGens))
 	}
-	orig := make([]float64, 0, len(gens))
-	prox := make([]float64, 0, len(gens))
-	for i := range gens {
-		ocfg, err := gens[i].Make()
-		if err != nil {
-			return BenchResult{}, fmt.Errorf("eval: %s: %w", gens[i].Label, err)
-		}
-		om, err := w.SimulateOriginal(ocfg)
-		if err != nil {
-			return BenchResult{}, err
-		}
-		pcfg, err := proxyGens[i].Make()
-		if err != nil {
-			return BenchResult{}, err
-		}
-		pm, err := w.SimulateProxy(pcfg)
-		if err != nil {
-			return BenchResult{}, err
-		}
-		orig = append(orig, metric.Fn(om))
-		prox = append(prox, metric.Fn(pm))
-	}
-	res := BenchResult{Benchmark: w.Name, Points: len(gens), Correlation: correlation(orig, prox)}
-	if asRate {
-		res.Error = rateError(orig, prox)
-	} else {
-		res.Error = relError(orig, prox)
-	}
-	return res, nil
-}
-
-// runFigure evaluates a metric sweep across all selected benchmarks.
-func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, gens, proxyGens []ConfigGen) (*FigureResult, error) {
-	o.fillDefaults()
 	start := time.Now()
 	fig := &FigureResult{ID: id, Title: title, Metric: metric.Name}
+	wl := o.workloads()
+	jobs := make([]runner.Job[pointSample], 0, len(o.Benchmarks)*len(gens))
 	for _, name := range o.Benchmarks {
-		w, err := o.prepare(name)
-		if err != nil {
-			return nil, err
+		name := name
+		for i := range gens {
+			og, pg := gens[i], proxyGens[i]
+			jobs = append(jobs, runner.Job[pointSample]{
+				Key: o.jobKey(id, name, og.Label, "proxy:"+pg.Label, metric.Name),
+				Run: func(ctx context.Context) (pointSample, error) {
+					w, err := wl.get(name)
+					if err != nil {
+						return pointSample{}, err
+					}
+					return simPoint(w, og, pg, metric)
+				},
+			})
 		}
-		row, err := o.runSweep(w, gens, proxyGens, metric, asRate)
-		if err != nil {
-			return nil, fmt.Errorf("eval %s/%s: %w", id, name, err)
+	}
+	results, st, err := runJobs(o, id, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: %w", id, err)
+	}
+	if err := collectErrors(id, results); err != nil {
+		return nil, err
+	}
+	for bi, name := range o.Benchmarks {
+		orig := make([]float64, 0, len(gens))
+		prox := make([]float64, 0, len(gens))
+		for i := 0; i < len(gens); i++ {
+			s := results[bi*len(gens)+i].Value
+			orig = append(orig, s.Orig)
+			prox = append(prox, s.Prox)
+		}
+		row := BenchResult{Benchmark: name, Points: len(gens), Correlation: correlation(orig, prox)}
+		if asRate {
+			row.Error = rateError(orig, prox)
+		} else {
+			row.Error = relError(orig, prox)
 		}
 		fig.Rows = append(fig.Rows, row)
 		o.logf("%s %-12s error %6.2f%s corr %.3f (%d pts)",
@@ -196,6 +389,7 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 	}
 	fig.finalize()
 	fig.Elapsed = time.Since(start)
+	fig.Exec = st
 	return fig, nil
 }
 

@@ -1,11 +1,15 @@
 package eval
 
 import (
+	"context"
+	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/uteda/gmap/internal/core"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/reuse"
+	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/workloads"
@@ -34,46 +38,89 @@ type Fig7Row struct {
 	WriteLatOrig, WriteLatProxy float64
 }
 
-// Fig7 regenerates Figure 7.
+// fig7Sample is one DRAM configuration's paired measurement across the
+// four Figure 7 metrics, in fig7Metrics order.
+type fig7Sample struct {
+	Orig [4]float64 `json:"orig"`
+	Prox [4]float64 `json:"prox"`
+}
+
+func fig7Metrics() []core.Metric {
+	return []core.Metric{core.DRAMRowBufferLocality, core.DRAMQueueLen, core.DRAMReadLatency, core.DRAMWriteLatency}
+}
+
+// Fig7 regenerates Figure 7. Each (benchmark, configuration) point is
+// one execution-engine job measuring all four metrics from a single
+// original/proxy simulation pair.
 func (o *Options) Fig7() (*Fig7Result, error) {
 	o.fillDefaults()
 	start := time.Now()
 	gens := DRAMSweep(o.Cores)
+	metrics := fig7Metrics()
 	res := &Fig7Result{
 		RBL:      &FigureResult{ID: "fig7/rbl", Title: "DRAM row buffer locality", Metric: core.DRAMRowBufferLocality.Name},
 		QueueLen: &FigureResult{ID: "fig7/queue", Title: "DRAM avg queue length", Metric: core.DRAMQueueLen.Name},
 		ReadLat:  &FigureResult{ID: "fig7/rdlat", Title: "DRAM avg read latency", Metric: core.DRAMReadLatency.Name},
 		WriteLat: &FigureResult{ID: "fig7/wrlat", Title: "DRAM avg write latency", Metric: core.DRAMWriteLatency.Name},
 	}
-	type series struct{ orig, prox []float64 }
+	wl := o.workloads()
+	jobs := make([]runner.Job[fig7Sample], 0, len(o.Benchmarks)*len(gens))
 	for _, name := range o.Benchmarks {
-		w, err := o.prepare(name)
-		if err != nil {
-			return nil, err
-		}
-		perMetric := make([]series, 4)
-		metrics := []core.Metric{core.DRAMRowBufferLocality, core.DRAMQueueLen, core.DRAMReadLatency, core.DRAMWriteLatency}
+		name := name
 		for _, g := range gens {
-			ocfg, err := g.Make()
-			if err != nil {
-				return nil, err
-			}
-			om, err := w.SimulateOriginal(ocfg)
-			if err != nil {
-				return nil, err
-			}
-			pcfg, _ := g.Make()
-			pm, err := w.SimulateProxy(pcfg)
-			if err != nil {
-				return nil, err
-			}
-			for mi, m := range metrics {
-				perMetric[mi].orig = append(perMetric[mi].orig, m.Fn(om))
-				perMetric[mi].prox = append(perMetric[mi].prox, m.Fn(pm))
+			g := g
+			jobs = append(jobs, runner.Job[fig7Sample]{
+				Key: o.jobKey("fig7", name, g.Label),
+				Run: func(ctx context.Context) (fig7Sample, error) {
+					w, err := wl.get(name)
+					if err != nil {
+						return fig7Sample{}, err
+					}
+					ocfg, err := g.Make()
+					if err != nil {
+						return fig7Sample{}, err
+					}
+					om, err := w.SimulateOriginal(ocfg)
+					if err != nil {
+						return fig7Sample{}, err
+					}
+					pcfg, err := g.Make()
+					if err != nil {
+						return fig7Sample{}, err
+					}
+					pm, err := w.SimulateProxy(pcfg)
+					if err != nil {
+						return fig7Sample{}, err
+					}
+					var s fig7Sample
+					for mi, m := range fig7Metrics() {
+						s.Orig[mi] = m.Fn(om)
+						s.Prox[mi] = m.Fn(pm)
+					}
+					return s, nil
+				},
+			})
+		}
+	}
+	results, st, err := runJobs(o, "fig7", jobs)
+	if err != nil {
+		return nil, fmt.Errorf("eval fig7: %w", err)
+	}
+	if err := collectErrors("fig7", results); err != nil {
+		return nil, err
+	}
+	type series struct{ orig, prox []float64 }
+	figs := []*FigureResult{res.RBL, res.QueueLen, res.ReadLat, res.WriteLat}
+	asRate := []bool{true, false, false, false}
+	for bi, name := range o.Benchmarks {
+		perMetric := make([]series, len(metrics))
+		for gi := range gens {
+			s := results[bi*len(gens)+gi].Value
+			for mi := range metrics {
+				perMetric[mi].orig = append(perMetric[mi].orig, s.Orig[mi])
+				perMetric[mi].prox = append(perMetric[mi].prox, s.Prox[mi])
 			}
 		}
-		figs := []*FigureResult{res.RBL, res.QueueLen, res.ReadLat, res.WriteLat}
-		asRate := []bool{true, false, false, false}
 		for mi, fig := range figs {
 			row := BenchResult{Benchmark: name, Points: len(gens),
 				Correlation: correlation(perMetric[mi].orig, perMetric[mi].prox)}
@@ -126,9 +173,10 @@ func (o *Options) Fig7() (*Fig7Result, error) {
 			r.WriteLatOrig, r.WriteLatProxy = norm(r.WriteLatOrig, ref.WriteLatOrig), norm(r.WriteLatProxy, ref.WriteLatOrig)
 		}
 	}
-	for _, fig := range []*FigureResult{res.RBL, res.QueueLen, res.ReadLat, res.WriteLat} {
+	for _, fig := range figs {
 		fig.finalize()
 		fig.Elapsed = time.Since(start)
+		fig.Exec = st
 	}
 	return res, nil
 }
@@ -154,43 +202,85 @@ type Fig8Result struct {
 	Elapsed time.Duration
 }
 
+// fig8Sample is one (factor, benchmark) measurement: cloning error plus
+// the timing and volume inputs of the speedup/storage axes. Simulation
+// times are recorded in the checkpoint so resumed points keep their
+// measured speedups.
+type fig8Sample struct {
+	Err      float64 `json:"err"`
+	OrigNS   int64   `json:"orig_ns"`
+	ProxNS   int64   `json:"prox_ns"`
+	OrigReqs uint64  `json:"orig_reqs"`
+	ProxReqs uint64  `json:"prox_reqs"`
+}
+
 // Fig8 regenerates Figure 8: cloning accuracy and simulation speedup as
-// the proxy shrinks from 1x to 16x.
+// the proxy shrinks from 1x to 16x. Each (factor, benchmark) pair is one
+// job; the workload is prepared inside the job because the pipeline
+// itself depends on the factor.
 func (o *Options) Fig8() (*Fig8Result, error) {
 	o.fillDefaults()
 	start := time.Now()
-	res := &Fig8Result{}
-	for _, factor := range []float64{1, 2, 4, 8, 16} {
-		var errs []float64
-		var origTime, proxTime time.Duration
-		var origReqs, proxReqs uint64
+	factors := []float64{1, 2, 4, 8, 16}
+	jobs := make([]runner.Job[fig8Sample], 0, len(factors)*len(o.Benchmarks))
+	for _, factor := range factors {
+		factor := factor
 		for _, name := range o.Benchmarks {
-			pcfg := profiler.DefaultConfig()
-			w, err := core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: factor})
-			if err != nil {
-				return nil, err
-			}
-			cfg := baseConfig(o.Cores)
-			t0 := time.Now()
-			om, err := w.SimulateOriginal(cfg)
-			if err != nil {
-				return nil, err
-			}
-			t1 := time.Now()
-			pm, err := w.SimulateProxy(cfg)
-			if err != nil {
-				return nil, err
-			}
-			t2 := time.Now()
-			origTime += t1.Sub(t0)
-			proxTime += t2.Sub(t1)
-			origReqs += om.Requests
-			proxReqs += pm.Requests
-			errs = append(errs, stats.AbsError(om.L1MissRate(), pm.L1MissRate()))
+			name := name
+			jobs = append(jobs, runner.Job[fig8Sample]{
+				Key: o.jobKey("fig8", name, "factor="+strconv.FormatFloat(factor, 'g', -1, 64)),
+				Run: func(ctx context.Context) (fig8Sample, error) {
+					pcfg := profiler.DefaultConfig()
+					w, err := core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: factor})
+					if err != nil {
+						return fig8Sample{}, err
+					}
+					cfg := baseConfig(o.Cores)
+					t0 := time.Now()
+					om, err := w.SimulateOriginal(cfg)
+					if err != nil {
+						return fig8Sample{}, err
+					}
+					t1 := time.Now()
+					pm, err := w.SimulateProxy(cfg)
+					if err != nil {
+						return fig8Sample{}, err
+					}
+					t2 := time.Now()
+					return fig8Sample{
+						Err:      stats.AbsError(om.L1MissRate(), pm.L1MissRate()),
+						OrigNS:   t1.Sub(t0).Nanoseconds(),
+						ProxNS:   t2.Sub(t1).Nanoseconds(),
+						OrigReqs: om.Requests,
+						ProxReqs: pm.Requests,
+					}, nil
+				},
+			})
+		}
+	}
+	results, _, err := runJobs(o, "fig8", jobs)
+	if err != nil {
+		return nil, fmt.Errorf("eval fig8: %w", err)
+	}
+	if err := collectErrors("fig8", results); err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	for fi, factor := range factors {
+		var errs []float64
+		var origNS, proxNS int64
+		var origReqs, proxReqs uint64
+		for bi := range o.Benchmarks {
+			s := results[fi*len(o.Benchmarks)+bi].Value
+			errs = append(errs, s.Err)
+			origNS += s.OrigNS
+			proxNS += s.ProxNS
+			origReqs += s.OrigReqs
+			proxReqs += s.ProxReqs
 		}
 		pt := Fig8Point{Factor: factor, Accuracy: 100 - stats.Mean(errs)}
-		if proxTime > 0 {
-			pt.Speedup = float64(origTime) / float64(proxTime)
+		if proxNS > 0 {
+			pt.Speedup = float64(origNS) / float64(proxNS)
 		}
 		if proxReqs > 0 {
 			pt.RequestRatio = float64(origReqs) / float64(proxReqs)

@@ -22,7 +22,14 @@ func WriteFigure(w io.Writer, f *FigureResult) error {
 		return err
 	}
 	if f.Elapsed > 0 {
-		fmt.Fprintf(w, "(regenerated in %v)\n", f.Elapsed.Round(1000000))
+		fmt.Fprintf(w, "(regenerated in %v", f.Elapsed.Round(1000000))
+		if x := f.Exec; x.Total > 0 {
+			fmt.Fprintf(w, "; %d jobs, %.1f jobs/s", x.Total, x.JobsPerSec)
+			if x.Skipped > 0 {
+				fmt.Fprintf(w, ", %d resumed", x.Skipped)
+			}
+		}
+		fmt.Fprintln(w, ")")
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderFig serializes a figure so byte-level equality checks catch any
+// ordering or numeric divergence. Exec/Elapsed vary run to run, so the
+// trailer line is stripped.
+func renderFig(t *testing.T, f *FigureResult) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if i := strings.Index(out, "(regenerated in"); i >= 0 {
+		out = out[:i]
+	}
+	return out
+}
+
+// TestParallelMatchesSerial is the tentpole's determinism contract: a
+// figure evaluated with many workers must produce byte-identical report
+// rows to a serial run, because every simulation point owns its seeded
+// RNG.
+func TestParallelMatchesSerial(t *testing.T) {
+	serialOpts := quickOpts()
+	serialOpts.Workers = 1
+	serial, err := serialOpts.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOpts := quickOpts()
+	parallelOpts.Workers = 8
+	parallel, err := parallelOpts.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := renderFig(t, serial), renderFig(t, parallel); s != p {
+		t.Errorf("parallel run diverged from serial:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+func TestCheckpointResumeSkipsFinishedPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.ckpt")
+
+	first := quickOpts()
+	first.Benchmarks = []string{"nn"}
+	first.Checkpoint = path
+	f1, err := first.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.ExecStats(); st.Completed != 30 || st.Skipped != 0 {
+		t.Fatalf("first run stats = %+v", st)
+	}
+
+	second := quickOpts()
+	second.Benchmarks = []string{"nn"}
+	second.Checkpoint = path
+	second.Resume = true
+	f2, err := second.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.ExecStats(); st.Skipped != 30 || st.Completed != 0 {
+		t.Errorf("resume did not skip finished points: %+v", st)
+	}
+	if renderFig(t, f1) != renderFig(t, f2) {
+		t.Error("resumed figure differs from original")
+	}
+}
+
+// TestResumeOnlyRunsMissingPoints interrupts a sweep logically by
+// checkpointing a strict subset (a one-benchmark run), then resuming a
+// two-benchmark run: only the new benchmark's points may execute.
+func TestResumeOnlyRunsMissingPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.ckpt")
+
+	partial := quickOpts()
+	partial.Benchmarks = []string{"nn"}
+	partial.Checkpoint = path
+	if _, err := partial.Fig6a(); err != nil {
+		t.Fatal(err)
+	}
+
+	full := quickOpts() // nn + scalarprod
+	full.Checkpoint = path
+	full.Resume = true
+	fig, err := full.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := full.ExecStats()
+	if st.Skipped != 30 || st.Completed != 30 {
+		t.Errorf("want 30 resumed + 30 fresh points, got %+v", st)
+	}
+	// The resumed figure must match a from-scratch run exactly.
+	fresh := quickOpts()
+	ref, err := fresh.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderFig(t, fig) != renderFig(t, ref) {
+		t.Error("resumed two-benchmark figure differs from a fresh run")
+	}
+}
+
+func TestEvalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing should run
+	opts := quickOpts()
+	opts.Context = ctx
+	_, err := opts.Fig6a()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := opts.ExecStats(); st.Completed != 0 {
+		t.Errorf("cancelled run executed %d jobs", st.Completed)
+	}
+}
+
+// TestProgressDeliveryIsSerialized drives the mutex-guarded sink from
+// concurrent jobs; the race detector (CI runs -race) flags unguarded
+// delivery, and the assembled lines must never interleave.
+func TestProgressDeliveryIsSerialized(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	opts := quickOpts()
+	opts.Workers = 8
+	opts.Progress = func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, format)
+	}
+	if _, err := opts.Fig6a(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("no progress delivered")
+	}
+}

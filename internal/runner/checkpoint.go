@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// A checkpoint file is JSON Lines: one entry per successfully executed
+// job, appended and flushed as the job completes so that killing the
+// process loses at most the line being written. Keys are stable job
+// hashes (see JobKey), so a resumed run with identical parameters maps
+// its jobs onto recorded results; a run with different parameters hashes
+// to different keys and shares nothing.
+type checkpointEntry struct {
+	Key       string          `json:"key"`
+	Value     json.RawMessage `json:"value"`
+	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
+}
+
+// LoadCheckpoint reads the checkpoint at path and returns recorded
+// values by job key. A missing file yields an empty map. Lines that do
+// not parse — typically the torn final write of a killed run — are
+// skipped; later entries for the same key win.
+func LoadCheckpoint(path string) (map[string]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return map[string]json.RawMessage{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	m := make(map[string]json.RawMessage)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		var e checkpointEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue
+		}
+		m[e.Key] = e.Value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkpointWriter appends entries to a checkpoint file, flushing each
+// line so progress survives an abrupt kill.
+type checkpointWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openCheckpoint(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (c *checkpointWriter) append(key string, value any, elapsed time.Duration) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Value: raw, ElapsedNS: elapsed.Nanoseconds()})
+	if err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *checkpointWriter) close() error {
+	if err := c.bw.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

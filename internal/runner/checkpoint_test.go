@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// countingJobs returns jobs that record how many actually execute.
+func countingJobs(n int, executed *atomic.Int32, failIdx int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: JobKey("ckpt", fmt.Sprint(i)),
+			Run: func(ctx context.Context) (int, error) {
+				executed.Add(1)
+				if i == failIdx {
+					return 0, errors.New("transient failure")
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestCheckpointResumeSkipsCompletedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var executed atomic.Int32
+
+	first, stats1, err := Run(context.Background(),
+		Options{Workers: 4, Checkpoint: path}, countingJobs(12, &executed, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 12 || stats1.Completed != 12 {
+		t.Fatalf("first run executed %d, stats %+v", executed.Load(), stats1)
+	}
+
+	executed.Store(0)
+	second, stats2, err := Run(context.Background(),
+		Options{Workers: 4, Checkpoint: path, Resume: true}, countingJobs(12, &executed, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 0 {
+		t.Errorf("resume re-executed %d jobs", executed.Load())
+	}
+	if stats2.Skipped != 12 || stats2.Completed != 0 {
+		t.Errorf("resume stats = %+v", stats2)
+	}
+	for i := range second {
+		if !second[i].Skipped || second[i].Value != first[i].Value {
+			t.Errorf("job %d: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestCheckpointDoesNotRecordFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var executed atomic.Int32
+	if _, _, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path}, countingJobs(6, &executed, 3)); err != nil {
+		t.Fatal(err)
+	}
+	executed.Store(0)
+	results, stats, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true}, countingJobs(6, &executed, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the previously failed job re-runs; this time it succeeds.
+	if executed.Load() != 1 {
+		t.Errorf("resume executed %d jobs, want 1", executed.Load())
+	}
+	if stats.Skipped != 5 || stats.Completed != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if results[3].Err != nil || results[3].Value != 30 {
+		t.Errorf("retried job = %+v", results[3])
+	}
+}
+
+func TestCheckpointToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var executed atomic.Int32
+	if _, _, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path}, countingJobs(4, &executed, -1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: a torn, unparseable trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"deadbeef","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	executed.Store(0)
+	_, stats, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true}, countingJobs(4, &executed, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 0 || stats.Skipped != 4 {
+		t.Errorf("torn line broke resume: executed=%d stats=%+v", executed.Load(), stats)
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	m, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err != nil || len(m) != 0 {
+		t.Errorf("missing file: m=%v err=%v", m, err)
+	}
+}
+
+func TestResumeWithChangedValueTypeRecomputes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	// Record a string-typed value under a key, then resume with int jobs
+	// using the same key: the stale entry must be recomputed, not
+	// force-fit.
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := JobKey("ckpt", "0")
+	if err := w.append(key, "not an int", 0); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	var executed atomic.Int32
+	results, _, err := Run(context.Background(),
+		Options{Workers: 1, Checkpoint: path, Resume: true}, countingJobs(1, &executed, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 || results[0].Value != 0 {
+		t.Errorf("stale entry not recomputed: executed=%d results=%+v", executed.Load(), results)
+	}
+}

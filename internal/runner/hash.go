@@ -1,0 +1,26 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// JobKey derives a job's stable checkpoint identity from the parts that
+// define it — for a simulation point, typically the experiment id,
+// benchmark, configuration digest (label), seed, scale and scale factor.
+// Parts are length-prefixed before hashing so shifting content between
+// adjacent parts ("l1", "32k" vs "l13", "2k") cannot collide, and the
+// key is a 96-bit hex digest: short enough to read in logs, long enough
+// that collisions within any realistic sweep are negligible.
+func JobKey(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:12])
+}

@@ -1,0 +1,214 @@
+// Package runner is the experiment-execution engine behind the
+// evaluation harness: a fixed-size worker pool draining a bounded job
+// queue with deterministic result ordering, per-job panic isolation and
+// optional timeouts, context cancellation, JSONL checkpoint/resume keyed
+// by stable job hashes, and an instrumentation hook reporting progress
+// (jobs/sec, ETA) plus a machine-readable run summary.
+//
+// Jobs must be independent and deterministic: given the same key they
+// must compute the same value on every run. Under that contract a
+// parallel run is observably identical to a serial one (results come
+// back in submission order), and a checkpointed value recorded by an
+// interrupted run can substitute for re-execution.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures one Run.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 selects runtime.NumCPU().
+	Workers int
+	// Timeout bounds each job's execution; 0 means no per-job limit. A
+	// timed-out job records a deadline error but cannot be preempted
+	// mid-computation: its goroutine is abandoned and the worker slot
+	// moves on.
+	Timeout time.Duration
+	// Checkpoint, when non-empty, names a JSONL file successful job
+	// results are streamed to as they complete, keyed by Job.Key.
+	Checkpoint string
+	// Resume loads Checkpoint before running and skips jobs whose key
+	// already has a recorded value (failed jobs are never recorded, so
+	// they re-run). Corrupt or truncated trailing lines — the signature
+	// of a killed run — are ignored.
+	Resume bool
+	// OnEvent, when non-nil, receives one Event per finished job (done,
+	// failed, or skipped). Events are delivered serially.
+	OnEvent func(Event)
+}
+
+// Job is one unit of work. Key is the job's stable identity across
+// process restarts (see JobKey); it must be unique within a Run when
+// checkpointing is enabled.
+type Job[R any] struct {
+	Key string
+	Run func(ctx context.Context) (R, error)
+}
+
+// Result pairs one job with its outcome. Run returns results in
+// submission order regardless of completion order.
+type Result[R any] struct {
+	Key   string
+	Value R
+	// Err records this job's failure (error return, panic, timeout, or
+	// cancellation before dispatch) without aborting the rest of the run.
+	Err error
+	// Skipped marks a value restored from the checkpoint rather than
+	// recomputed.
+	Skipped bool
+	// Elapsed is the job's wall-clock execution time (0 when Skipped).
+	Elapsed time.Duration
+}
+
+// Run drains jobs through a worker pool and returns one Result per job,
+// in order. Individual job failures are recorded in their Result and do
+// not abort the run; the returned error is non-nil only for
+// infrastructure failures (unusable checkpoint file) or context
+// cancellation, in which case already-computed results are still
+// returned.
+func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]Result[R], len(jobs))
+	done := make([]bool, len(jobs))
+	tr := newTracker(len(jobs), opts.OnEvent)
+
+	// Restore checkpointed results before dispatching anything so the
+	// pool only sees genuinely pending work.
+	var restored map[string]json.RawMessage
+	if opts.Resume && opts.Checkpoint != "" {
+		m, err := LoadCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return results, tr.stats(), err
+		}
+		restored = m
+	}
+	var pending []int
+	for i := range jobs {
+		if raw, ok := restored[jobs[i].Key]; ok {
+			var v R
+			if err := json.Unmarshal(raw, &v); err == nil {
+				results[i] = Result[R]{Key: jobs[i].Key, Value: v, Skipped: true}
+				done[i] = true
+				tr.finish(JobSkipped, jobs[i].Key, nil, 0)
+				continue
+			}
+			// Unreadable entry (e.g. the job's result type changed):
+			// fall through and recompute.
+		}
+		pending = append(pending, i)
+	}
+
+	var ckpt *checkpointWriter
+	if opts.Checkpoint != "" {
+		w, err := openCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return results, tr.stats(), err
+		}
+		ckpt = w
+		defer ckpt.close()
+	}
+
+	// The queue is bounded by the pool size so a huge sweep never
+	// materializes as channel backlog, and the feeder notices
+	// cancellation promptly.
+	queue := make(chan int, workers)
+	var mu sync.Mutex // serializes tracker events and checkpoint appends
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range queue {
+				if ctx.Err() != nil {
+					continue // leave the job unexecuted; marked below
+				}
+				res := execute(ctx, opts.Timeout, jobs[idx])
+				results[idx] = res
+				done[idx] = true
+				mu.Lock()
+				if res.Err == nil && ckpt != nil {
+					ckpt.append(res.Key, res.Value, res.Elapsed)
+				}
+				if res.Err != nil {
+					tr.finish(JobFailed, res.Key, res.Err, res.Elapsed)
+				} else {
+					tr.finish(JobDone, res.Key, nil, res.Elapsed)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, idx := range pending {
+		select {
+		case queue <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	var err error
+	if ctx.Err() != nil {
+		err = ctx.Err()
+		for _, idx := range pending {
+			if !done[idx] {
+				results[idx] = Result[R]{Key: jobs[idx].Key, Err: fmt.Errorf("runner: job %q not run: %w", jobs[idx].Key, ctx.Err())}
+			}
+		}
+	}
+	return results, tr.stats(), err
+}
+
+// execute runs one job with panic isolation and an optional deadline.
+// The job runs on its own goroutine so a panic unwinds there and a
+// timed-out computation can be abandoned without killing the worker.
+func execute[R any](ctx context.Context, timeout time.Duration, job Job[R]) Result[R] {
+	res := Result[R]{Key: job.Key}
+	jctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		val R
+		err error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("runner: job %q panicked: %v", job.Key, p)}
+			}
+		}()
+		v, err := job.Run(jctx)
+		ch <- outcome{val: v, err: err}
+	}()
+	select {
+	case o := <-ch:
+		res.Value, res.Err = o.val, o.err
+	case <-jctx.Done():
+		res.Err = fmt.Errorf("runner: job %q: %w", job.Key, jctx.Err())
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,239 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// intJobs builds n jobs where job i returns i*i, optionally delayed so
+// completion order scrambles under parallelism.
+func intJobs(n int, delay func(i int) time.Duration) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: JobKey("test", fmt.Sprint(i)),
+			Run: func(ctx context.Context) (int, error) {
+				if delay != nil {
+					time.Sleep(delay(i))
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	// Early jobs sleep longest, so under parallelism they finish last;
+	// results must still come back in submission order.
+	jobs := intJobs(16, func(i int) time.Duration {
+		return time.Duration(16-i) * time.Millisecond
+	})
+	results, stats, err := Run(context.Background(), Options{Workers: 8}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Errorf("result %d = %d, want %d", i, r.Value, i*i)
+		}
+	}
+	if stats.Completed != 16 || stats.Failed != 0 || stats.Skipped != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Work == 0 {
+		t.Error("work time not accumulated")
+	}
+}
+
+func TestSerialAndParallelAgree(t *testing.T) {
+	jobs := intJobs(32, nil)
+	serial, _, err := Run(context.Background(), Options{Workers: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := Run(context.Background(), Options{Workers: 8}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Value != parallel[i].Value {
+			t.Errorf("job %d: serial %d vs parallel %d", i, serial[i].Value, parallel[i].Value)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := intJobs(8, nil)
+	jobs[3].Run = func(ctx context.Context) (int, error) {
+		panic("pathological config")
+	}
+	results, stats, err := Run(context.Background(), Options{Workers: 4}, jobs)
+	if err != nil {
+		t.Fatalf("run-level error: %v", err)
+	}
+	if results[3].Err == nil || !strings.Contains(results[3].Err.Error(), "panicked") {
+		t.Errorf("panicking job error = %v", results[3].Err)
+	}
+	for i, r := range results {
+		if i != 3 && r.Err != nil {
+			t.Errorf("job %d failed: %v", i, r.Err)
+		}
+	}
+	if stats.Failed != 1 || stats.Completed != 7 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestJobErrorDoesNotAbortRun(t *testing.T) {
+	jobs := intJobs(6, nil)
+	wantErr := errors.New("bad config")
+	jobs[0].Run = func(ctx context.Context) (int, error) { return 0, wantErr }
+	results, _, err := Run(context.Background(), Options{Workers: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, wantErr) {
+		t.Errorf("results[0].Err = %v", results[0].Err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Err != nil || results[i].Value != i*i {
+			t.Errorf("job %d: %+v", i, results[i])
+		}
+	}
+}
+
+func TestCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: JobKey("cancel", fmt.Sprint(i)),
+			Run: func(ctx context.Context) (int, error) {
+				if started.Add(1) == 4 {
+					cancel()
+				}
+				time.Sleep(2 * time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	results, stats, err := Run(ctx, Options{Workers: 2}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var unrun int
+	for _, r := range results {
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			unrun++
+		}
+	}
+	if unrun == 0 {
+		t.Error("no job recorded the cancellation")
+	}
+	if stats.Completed+stats.Failed >= len(jobs) {
+		t.Errorf("cancellation did not stop dispatch: %+v", stats)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	jobs := intJobs(3, nil)
+	jobs[1].Run = func(ctx context.Context) (int, error) {
+		select {
+		case <-time.After(5 * time.Second):
+			return 0, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	results, _, err := Run(context.Background(), Options{Workers: 2, Timeout: 20 * time.Millisecond}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Err == nil || !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Errorf("timed-out job error = %v", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("timeout leaked into healthy jobs")
+	}
+}
+
+func TestEventsAccountForEveryJob(t *testing.T) {
+	jobs := intJobs(10, nil)
+	jobs[2].Run = func(ctx context.Context) (int, error) { return 0, errors.New("x") }
+	var events []Event
+	_, stats, err := Run(context.Background(), Options{
+		Workers: 4,
+		OnEvent: func(e Event) { events = append(events, e) },
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("got %d events, want 10", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Finished() != 10 {
+		t.Errorf("last event finished = %d", last.Finished())
+	}
+	var failed int
+	for _, e := range events {
+		if e.Kind == JobFailed {
+			failed++
+		}
+	}
+	if failed != 1 || stats.Failed != 1 {
+		t.Errorf("failed events = %d, stats = %+v", failed, stats)
+	}
+	if line := last.ProgressLine(); !strings.Contains(line, "10/10 jobs") {
+		t.Errorf("progress line = %q", line)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Total: 4, Completed: 3, Failed: 1, Wall: time.Second, Work: 2 * time.Second}
+	b := Stats{Total: 2, Skipped: 2, Wall: time.Second}
+	sum := a.Add(b)
+	if sum.Total != 6 || sum.Completed != 3 || sum.Failed != 1 || sum.Skipped != 2 {
+		t.Errorf("sum = %+v", sum)
+	}
+	if sum.JobsPerSec != 2 {
+		t.Errorf("jobs/sec = %v, want 2", sum.JobsPerSec)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	results, stats, err := Run(context.Background(), Options{}, []Job[int]{})
+	if err != nil || len(results) != 0 || stats.Total != 0 {
+		t.Errorf("empty run: results=%v stats=%+v err=%v", results, stats, err)
+	}
+}
+
+func TestJobKeyProperties(t *testing.T) {
+	if JobKey("a", "b") != JobKey("a", "b") {
+		t.Error("JobKey not stable")
+	}
+	if JobKey("a", "b") == JobKey("b", "a") {
+		t.Error("JobKey ignores order")
+	}
+	// Length prefixing: shifting a byte across a part boundary must not
+	// collide.
+	if JobKey("ab", "c") == JobKey("a", "bc") {
+		t.Error("JobKey collides across part boundaries")
+	}
+	if len(JobKey("x")) != 24 {
+		t.Errorf("JobKey length = %d, want 24 hex chars", len(JobKey("x")))
+	}
+}

@@ -40,6 +40,19 @@ var (
 
 const maxReasonableCount = 1 << 34
 
+// allocHint caps eager slice preallocation from decoded header counts. A
+// corrupt header can claim up to maxReasonableCount elements; growing the
+// slice as elements actually parse bounds memory by the real input size
+// (every element consumes at least one input byte, so a truncated stream
+// errors out long before a giant claimed count materializes).
+func allocHint(claimed uint64) int {
+	const max = 1 << 16
+	if claimed > max {
+		return max
+	}
+	return int(claimed)
+}
+
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
@@ -135,9 +148,9 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 		Name:     string(name),
 		GridDim:  int(grid),
 		BlockDim: int(block),
-		Threads:  make([]ThreadTrace, nThreads),
+		Threads:  make([]ThreadTrace, 0, allocHint(nThreads)),
 	}
-	for t := range k.Threads {
+	for t := 0; t < int(nThreads); t++ {
 		nAcc, err := readUvarint()
 		if err != nil {
 			return nil, err
@@ -145,11 +158,12 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 		if nAcc > maxReasonableCount {
 			return nil, errTooLarge
 		}
-		tt := &k.Threads[t]
-		tt.ThreadID = t
-		tt.Accesses = make([]Access, nAcc)
+		tt := ThreadTrace{
+			ThreadID: t,
+			Accesses: make([]Access, 0, allocHint(nAcc)),
+		}
 		var prevPC, prevAddr uint64
-		for i := range tt.Accesses {
+		for i := 0; i < int(nAcc); i++ {
 			dpc, err := readUvarint()
 			if err != nil {
 				return nil, err
@@ -167,8 +181,9 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 			}
 			prevPC += uint64(unzigzag(dpc))
 			prevAddr += uint64(unzigzag(daddr))
-			tt.Accesses[i] = Access{PC: prevPC, Addr: prevAddr, Kind: Kind(kind)}
+			tt.Accesses = append(tt.Accesses, Access{PC: prevPC, Addr: prevAddr, Kind: Kind(kind)})
 		}
+		k.Threads = append(k.Threads, tt)
 	}
 	return k, nil
 }

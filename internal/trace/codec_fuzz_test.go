@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzKernel is a small but representative trace for seeding: multiple
+// threads, mixed kinds, large address deltas (exercising zig-zag), and an
+// empty thread.
+func fuzzKernel() *KernelTrace {
+	return &KernelTrace{
+		Name:     "fuzz",
+		GridDim:  2,
+		BlockDim: 64,
+		Threads: []ThreadTrace{
+			{ThreadID: 0, Accesses: []Access{
+				{PC: 0x400, Addr: 0x10000000, Kind: Load},
+				{PC: 0x408, Addr: 0x10000080, Kind: Store},
+				{PC: 0x410, Addr: 0x8, Kind: Load},
+				{PC: 0x410, Addr: 0xfffffffffffffff0, Kind: Sync},
+			}},
+			{ThreadID: 1},
+			{ThreadID: 2, Accesses: []Access{
+				{PC: 0x400, Addr: 0x20000000, Kind: Load},
+			}},
+		},
+	}
+}
+
+func fuzzWarpFile() *WarpFile {
+	return &WarpFile{
+		Name:     "fuzz",
+		GridDim:  2,
+		BlockDim: 64,
+		Warps: []WarpTrace{
+			{WarpID: 0, Block: 0, Requests: []Request{
+				{PC: 0x400, Addr: 0x10000000, Kind: Load, WarpID: 0, Threads: 32},
+				{PC: 0x408, Addr: 0x80, Kind: Store, WarpID: 0, Threads: 7},
+			}},
+			{WarpID: 3, Block: 1},
+		},
+	}
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the per-thread trace decoder.
+// Whatever the input, the decoder must either return an error or a trace
+// that survives a clean re-encode/re-decode round trip; it must never
+// panic, and a corrupt header claiming billions of elements must not
+// cause a giant allocation (the fuzzer's memory limit enforces this).
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteBinary(&good, fuzzKernel()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())/2]) // truncated mid-stream
+	f.Add([]byte("GMAPTRC1"))                 // header only
+	f.Add([]byte("NOTMAGIC" + "junk"))        // wrong magic
+	// Valid magic, then a huge claimed thread count (0xffffffff varint).
+	f.Add([]byte("GMAPTRC1\x00\x01\x01\xff\xff\xff\xff\x0f"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, k); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		k2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(k2.Threads) != len(k.Threads) || k2.Name != k.Name {
+			t.Fatalf("round trip changed shape: %d/%d threads", len(k2.Threads), len(k.Threads))
+		}
+		for i := range k.Threads {
+			if len(k2.Threads[i].Accesses) != len(k.Threads[i].Accesses) {
+				t.Fatalf("thread %d: %d accesses became %d", i,
+					len(k.Threads[i].Accesses), len(k2.Threads[i].Accesses))
+			}
+		}
+	})
+}
+
+// FuzzReadWarpsBinary is the warp-stream counterpart of FuzzReadBinary.
+func FuzzReadWarpsBinary(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteWarpsBinary(&good, fuzzWarpFile()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())-3])
+	f.Add([]byte("GMAPWRP1"))
+	f.Add([]byte("GMAPTRC1")) // the other format's magic
+	// Valid magic + tiny header, then an absurd warp count.
+	f.Add([]byte("GMAPWRP1\x00\x01\x01\xff\xff\xff\xff\xff\xff\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wf, err := ReadWarpsBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteWarpsBinary(&buf, wf); err != nil {
+			t.Fatalf("re-encode of decoded warp file failed: %v", err)
+		}
+		wf2, err := ReadWarpsBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(wf2.Warps) != len(wf.Warps) || wf2.Name != wf.Name {
+			t.Fatalf("round trip changed shape: %d/%d warps", len(wf2.Warps), len(wf.Warps))
+		}
+		for i := range wf.Warps {
+			if len(wf2.Warps[i].Requests) != len(wf.Warps[i].Requests) {
+				t.Fatalf("warp %d: %d requests became %d", i,
+					len(wf.Warps[i].Requests), len(wf2.Warps[i].Requests))
+			}
+		}
+	})
+}
+
+// TestCorruptHeadersError pins the hardening down without the fuzzer: a
+// header claiming a count beyond the sanity limit must be rejected, and a
+// large-but-allowed claimed count over an empty body must hit the
+// truncation error without first allocating the claimed size.
+func TestCorruptHeadersError(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"thread count over limit", "GMAPTRC1\x00\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"},
+		{"huge thread count, empty body", "GMAPTRC1\x00\x01\x01\xff\xff\xff\xff\x07"},
+		{"warp count over limit", "GMAPWRP1\x00\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"},
+		{"huge warp count, empty body", "GMAPWRP1\x00\x01\x01\xff\xff\xff\xff\x07"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			if strings.HasPrefix(tc.data, binaryMagic) {
+				_, err = ReadBinary(strings.NewReader(tc.data))
+			} else {
+				_, err = ReadWarpsBinary(strings.NewReader(tc.data))
+			}
+			if err == nil {
+				t.Fatal("corrupt header accepted")
+			}
+		})
+	}
+}

@@ -140,10 +140,9 @@ func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
 		Name:     string(name),
 		GridDim:  int(grid),
 		BlockDim: int(block),
-		Warps:    make([]WarpTrace, nWarps),
+		Warps:    make([]WarpTrace, 0, allocHint(nWarps)),
 	}
-	for i := range wf.Warps {
-		wt := &wf.Warps[i]
+	for i := 0; i < int(nWarps); i++ {
 		id, err := get()
 		if err != nil {
 			return nil, err
@@ -159,10 +158,13 @@ func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
 		if nReq > maxReasonableCount {
 			return nil, errTooLarge
 		}
-		wt.WarpID, wt.Block = int(id), int(blk)
-		wt.Requests = make([]Request, nReq)
+		wt := WarpTrace{
+			WarpID:   int(id),
+			Block:    int(blk),
+			Requests: make([]Request, 0, allocHint(nReq)),
+		}
 		var prevPC, prevAddr uint64
-		for j := range wt.Requests {
+		for j := 0; j < int(nReq); j++ {
 			dpc, err := get()
 			if err != nil {
 				return nil, err
@@ -184,14 +186,15 @@ func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
 			}
 			prevPC += uint64(unzigzag(dpc))
 			prevAddr += uint64(unzigzag(daddr))
-			wt.Requests[j] = Request{
+			wt.Requests = append(wt.Requests, Request{
 				PC:      prevPC,
 				Addr:    prevAddr,
 				Kind:    Kind(kind),
 				WarpID:  int(id),
 				Threads: int(threads),
-			}
+			})
 		}
+		wf.Warps = append(wf.Warps, wt)
 	}
 	return wf, nil
 }
