@@ -1,0 +1,123 @@
+// Differential tests: the production set-associative cache against the
+// refmodel recency-list reference, on generated access/fill/probe streams.
+// External test package so proptest (which imports cache) can be used.
+package cache_test
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/cache"
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/refmodel"
+)
+
+// driveBoth replays one generated op stream through both caches and
+// fails on the first diverging result or final statistics mismatch.
+func driveBoth(t *testing.T, seed uint64, g *proptest.G, prod *cache.Cache, ref *refmodel.Cache) {
+	t.Helper()
+	ops := 100 + g.R.Intn(200)
+	addrs := g.AddrStream(ops, uint64(prod.Config().LineSize))
+	for oi, a := range addrs {
+		switch p := g.R.Float64(); {
+		case p < 0.70:
+			write := g.R.Bool(0.3)
+			pr, rr := prod.Access(a, write), ref.Access(a, write)
+			if pr != rr {
+				t.Fatalf("seed %d op %d: Access(%#x, write=%v) = %+v, reference %+v",
+					seed, oi, a, write, pr, rr)
+			}
+		case p < 0.85:
+			pr, rr := prod.Fill(a), ref.Fill(a)
+			if pr != rr {
+				t.Fatalf("seed %d op %d: Fill(%#x) = %+v, reference %+v", seed, oi, a, pr, rr)
+			}
+		default:
+			if pp, rp := prod.Probe(a), ref.Probe(a); pp != rp {
+				t.Fatalf("seed %d op %d: Probe(%#x) = %v, reference %v", seed, oi, a, pp, rp)
+			}
+		}
+	}
+	if prod.Stats != ref.Stats {
+		t.Fatalf("seed %d: stats diverged:\nproduction %+v\nreference  %+v", seed, prod.Stats, ref.Stats)
+	}
+}
+
+// TestCacheMatchesReference replays generated demand/fill/probe streams
+// through random set-associative LRU geometries and the reference cache,
+// requiring identical per-op results (hit, write-through, prefetch-hit,
+// victim address, victim dirtiness) and identical final statistics.
+func TestCacheMatchesReference(t *testing.T) {
+	n := proptest.N(t, 200, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x5e7a55 + i)
+		g := proptest.New(seed)
+		cfg := g.CacheConfig()
+		prod, err := cache.New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := refmodel.NewCache(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		driveBoth(t, seed, g, prod, ref)
+	}
+}
+
+// TestFullyAssociativeMatchesReference drives the single-set geometry —
+// the refmodel's explicitly fully-associative constructor against the
+// production cache configured with one set.
+func TestFullyAssociativeMatchesReference(t *testing.T) {
+	n := proptest.N(t, 200, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0xf0117 + i)
+		g := proptest.New(seed)
+		lines := []int{1, 2, 4, 8, 16}[g.R.Intn(5)]
+		lineSize := []int{32, 64, 128}[g.R.Intn(3)]
+		writes := cache.WriteBackAllocate
+		if g.R.Bool(0.4) {
+			writes = cache.WriteThroughNoAllocate
+		}
+		cfg := cache.Config{SizeBytes: lines * lineSize, Ways: lines, LineSize: lineSize, Writes: writes}
+		prod, err := cache.New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := refmodel.NewFullyAssocCache(lines, lineSize, writes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		driveBoth(t, seed, g, prod, ref)
+	}
+}
+
+// TestMissCountMonotoneInWays is the inclusion-property invariant: with
+// the set count and line size fixed, growing the associativity of an LRU
+// cache can never increase the miss count on any stream (each set is an
+// LRU stack, and a stack of depth w+1 contains the stack of depth w).
+func TestMissCountMonotoneInWays(t *testing.T) {
+	n := proptest.N(t, 100, 500)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x304070 + i)
+		g := proptest.New(seed)
+		lineSize := []int{32, 64, 128}[g.R.Intn(3)]
+		sets := []int{1, 2, 4, 8}[g.R.Intn(4)]
+		addrs := g.AddrStream(300, uint64(lineSize))
+		prev := ^uint64(0)
+		for _, ways := range []int{1, 2, 3, 4, 6, 8} {
+			cfg := cache.Config{SizeBytes: sets * ways * lineSize, Ways: ways, LineSize: lineSize}
+			c, err := cache.New(cfg)
+			if err != nil {
+				t.Fatalf("seed %d ways %d: %v", seed, ways, err)
+			}
+			for _, a := range addrs {
+				c.Access(a, false)
+			}
+			if c.Stats.Misses > prev {
+				t.Fatalf("seed %d: misses grew from %d to %d when ways reached %d (sets=%d line=%d)",
+					seed, prev, c.Stats.Misses, ways, sets, lineSize)
+			}
+			prev = c.Stats.Misses
+		}
+	}
+}

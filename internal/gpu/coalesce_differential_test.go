@@ -1,0 +1,73 @@
+// Differential tests: the production coalescer against the refmodel's
+// naive sequential coalescer, plus conservation invariants.
+package gpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/gpu"
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/refmodel"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// TestCoalesceMatchesReference replays generated warp address vectors —
+// coalesced, strided, broadcast and scattered — through both coalescers
+// and requires identical request sequences (line order, thread counts,
+// PC/kind/warp propagation).
+func TestCoalesceMatchesReference(t *testing.T) {
+	n := proptest.N(t, 300, 1500)
+	lineSizes := []uint64{32, 64, 128, 256}
+	for i := 0; i < n; i++ {
+		seed := uint64(0xc0a1 + i)
+		g := proptest.New(seed)
+		lineSize := lineSizes[g.R.Intn(len(lineSizes))]
+		addrs := g.WarpAddrs()
+		kind := trace.Load
+		if g.R.Bool(0.3) {
+			kind = trace.Store
+		}
+		warpID := g.R.Intn(64)
+		pc := 0x400 + uint64(g.R.Intn(16))*8
+		c := gpu.NewCoalescer(lineSize)
+		got := c.Coalesce(warpID, pc, kind, addrs)
+		want := refmodel.Coalesce(warpID, pc, kind, addrs, lineSize)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d (line %d, addrs %v):\nproduction %+v\nreference  %+v",
+				seed, lineSize, addrs, got, want)
+		}
+	}
+}
+
+// TestCoalesceConservation checks the invariants that hold for any warp:
+// thread counts sum to the lane count, every line is distinct and
+// line-aligned, and the request count never exceeds the lane count.
+func TestCoalesceConservation(t *testing.T) {
+	n := proptest.N(t, 300, 1500)
+	for i := 0; i < n; i++ {
+		seed := uint64(0xc0b2 + i)
+		g := proptest.New(seed)
+		const lineSize = 128
+		addrs := g.WarpAddrs()
+		reqs := gpu.NewCoalescer(lineSize).Coalesce(0, 0x400, trace.Load, addrs)
+		if len(reqs) > len(addrs) {
+			t.Fatalf("seed %d: %d requests from %d lanes", seed, len(reqs), len(addrs))
+		}
+		total := 0
+		seen := map[uint64]bool{}
+		for _, r := range reqs {
+			total += r.Threads
+			if r.Addr%lineSize != 0 {
+				t.Fatalf("seed %d: request address %#x not line aligned", seed, r.Addr)
+			}
+			if seen[r.Addr] {
+				t.Fatalf("seed %d: line %#x emitted twice", seed, r.Addr)
+			}
+			seen[r.Addr] = true
+		}
+		if total != len(addrs) {
+			t.Fatalf("seed %d: thread counts sum to %d, want %d lanes", seed, total, len(addrs))
+		}
+	}
+}

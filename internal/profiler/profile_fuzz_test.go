@@ -1,0 +1,52 @@
+// Fuzzing for the profile (de)serialization path. External test package
+// so the proptest generators (which import profiler) can seed the corpus.
+package profiler_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/proptest"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the profile decoder. Any input
+// must either be rejected or produce a profile that passes Validate and
+// survives a write/read round trip unchanged in shape; the decoder must
+// never panic.
+func FuzzReadJSON(f *testing.F) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		var buf bytes.Buffer
+		if err := proptest.New(seed).Profile().WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"name":"x","grid_dim":-1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := profiler.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// ReadJSON validates, so anything accepted must be structurally
+		// sound and must round-trip.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted profile fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode of accepted profile failed: %v", err)
+		}
+		p2, err := profiler.ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if p2.Name != p.Name || p2.Warps != p.Warps || p2.TotalRequests != p.TotalRequests ||
+			len(p2.Insts) != len(p.Insts) || len(p2.Profiles) != len(p.Profiles) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", p2, p)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package proptest
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/cache"
+	"github.com/uteda/gmap/internal/dram"
+)
+
+// TestGeneratorsAreDeterministic: the same seed must reproduce every
+// generated artifact exactly — the property that makes failure seeds
+// replayable.
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	build := func() (cache.Config, dram.Config, []uint64, []uint64, interface{}) {
+		g := New(42)
+		return g.CacheConfig(), g.DRAMConfig(), g.AddrStream(100, 128),
+			g.MonotoneArrivals(50, 20), g.Profile()
+	}
+	c1, d1, a1, m1, p1 := build()
+	c2, d2, a2, m2, p2 := build()
+	if c1 != c2 || d1 != d2 {
+		t.Fatal("configs diverged between identically seeded generators")
+	}
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(m1, m2) {
+		t.Fatal("streams diverged between identically seeded generators")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("profiles diverged between identically seeded generators")
+	}
+}
+
+// TestGeneratedArtifactsAreValid: every generated configuration and
+// profile must pass its package's own validation, across many seeds.
+func TestGeneratedArtifactsAreValid(t *testing.T) {
+	n := N(t, 100, 1000)
+	for i := 0; i < n; i++ {
+		g := New(uint64(i))
+		if _, err := g.CacheConfig().Validate(); err != nil {
+			t.Fatalf("seed %d: invalid cache config: %v", i, err)
+		}
+		if err := g.DRAMConfig().Validate(); err != nil {
+			t.Fatalf("seed %d: invalid DRAM config: %v", i, err)
+		}
+		if err := g.Profile().Validate(); err != nil {
+			t.Fatalf("seed %d: invalid profile: %v", i, err)
+		}
+		arr := g.MonotoneArrivals(64, 10)
+		for j := 1; j < len(arr); j++ {
+			if arr[j] < arr[j-1] {
+				t.Fatalf("seed %d: arrivals not monotone at %d: %v", i, j, arr)
+			}
+		}
+		if got := len(g.AddrStream(37, 64)); got != 37 {
+			t.Fatalf("seed %d: AddrStream length %d, want 37", i, got)
+		}
+		if got := len(g.Requests(25, 0.1)); got != 25 {
+			t.Fatalf("seed %d: Requests length %d, want 25", i, got)
+		}
+		if got := g.WarpAddrs(); len(got) < 1 || len(got) > 32 {
+			t.Fatalf("seed %d: warp has %d lanes", i, len(got))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package refmodel
+
+import "github.com/uteda/gmap/internal/trace"
+
+// Coalesce merges one warp-wide instruction execution into line-sized
+// transactions the slow, obvious way: an order-preserving map from
+// aligned segment to touching-thread count, emitted in first-touch order.
+// It must agree exactly with gpu.Coalescer.Coalesce.
+func Coalesce(warpID int, pc uint64, kind trace.Kind, addrs []uint64, lineSize uint64) []trace.Request {
+	if len(addrs) == 0 {
+		return nil
+	}
+	counts := make(map[uint64]int)
+	var order []uint64
+	for _, a := range addrs {
+		line := a - a%lineSize
+		if _, seen := counts[line]; !seen {
+			order = append(order, line)
+		}
+		counts[line]++
+	}
+	reqs := make([]trace.Request, len(order))
+	for i, line := range order {
+		reqs[i] = trace.Request{
+			PC:      pc,
+			Addr:    line,
+			Kind:    kind,
+			WarpID:  warpID,
+			Threads: counts[line],
+		}
+	}
+	return reqs
+}

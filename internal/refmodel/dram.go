@@ -1,0 +1,216 @@
+package refmodel
+
+import "github.com/uteda/gmap/internal/dram"
+
+// DRAMRequest is one memory request for the reference DRAM model. ID is
+// the production controller's request id so completions can be compared
+// pairwise. Within each channel arrivals must be nondecreasing in input
+// order — the regime where FCFS scheduling degenerates to strict FIFO
+// service and an in-order reference is exact.
+type DRAMRequest struct {
+	ID      uint64
+	Addr    uint64
+	Write   bool
+	Arrival uint64
+}
+
+// DRAMCompletion is the reference's outcome for one request.
+type DRAMCompletion struct {
+	Done   uint64
+	RowHit bool
+}
+
+// DRAMResult carries the reference run's completions and statistics,
+// computed with the same definitions the production Stats accessors use.
+type DRAMResult struct {
+	Completions map[uint64]DRAMCompletion
+
+	Reads, Writes                    uint64
+	RowHits, RowMisses, RowConflicts uint64
+	Refreshes                        uint64
+	AvgQueueLen                      float64
+	AvgReadLatency, AvgWriteLatency  float64
+}
+
+// RowBufferLocality returns RowHits over serviced requests.
+func (r DRAMResult) RowBufferLocality() float64 {
+	n := r.RowHits + r.RowMisses + r.RowConflicts
+	if n == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(n)
+}
+
+// dramCoord is an independently decomposed address: the channel, the flat
+// bank index within the channel (rank-major, as the production controller
+// indexes its bank array), and the row.
+type dramCoord struct {
+	channel, bankIdx, row, col int
+}
+
+// decomposeAddr rebuilds the two address mappings from their format
+// specification (field order LSB to MSB), independently of
+// dram.Config.Decompose.
+func decomposeAddr(cfg dram.Config, addr uint64) dramCoord {
+	line := addr / uint64(cfg.TxBytes)
+	take := func(radix uint64) int {
+		v := line % radix
+		line /= radix
+		return int(v)
+	}
+	cols := uint64(cfg.RowBytes / cfg.TxBytes)
+	var c dramCoord
+	if cfg.Mapping == dram.ChRaBaRoCo {
+		// column, row (16 bits), bank, rank, channel.
+		c.col = take(cols)
+		c.row = take(1 << 16)
+		bank := take(uint64(cfg.BanksPerRank))
+		rank := take(uint64(cfg.RanksPerChannel))
+		c.channel = take(uint64(cfg.Channels))
+		c.bankIdx = rank*cfg.BanksPerRank + bank
+	} else {
+		// RoBaRaCoCh: channel, column, rank, bank, row.
+		c.channel = take(uint64(cfg.Channels))
+		c.col = take(cols)
+		rank := take(uint64(cfg.RanksPerChannel))
+		bank := take(uint64(cfg.BanksPerRank))
+		c.row = int(line)
+		c.bankIdx = rank*cfg.BanksPerRank + bank
+	}
+	return c
+}
+
+type refBank struct {
+	openRow     int
+	hasOpenRow  bool
+	readyAt     uint64
+	activatedAt uint64
+}
+
+type refChannel struct {
+	banks       []refBank
+	busFree     uint64
+	nextRefresh uint64
+	enqueued    uint64 // pending count at the next request's arrival
+}
+
+// RunFIFODRAM services reqs strictly in order per channel and returns
+// every completion. It models the production controller driven in its
+// enqueue-everything-then-Drain mode under FCFS scheduling: with
+// nondecreasing arrivals the oldest queued request is always the head,
+// so in-order service is exact, including refresh windows, row-buffer
+// transitions (hit / closed-row activate / conflict precharge+activate
+// respecting tRAS), bank cycle time and data-bus serialization.
+func RunFIFODRAM(cfg dram.Config, reqs []DRAMRequest) (DRAMResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return DRAMResult{}, err
+	}
+	burst := uint64(cfg.TxBytes / (2 * cfg.BusBytes))
+	if burst < 1 {
+		burst = 1
+	}
+	channels := make([]refChannel, cfg.Channels)
+	for i := range channels {
+		channels[i].banks = make([]refBank, cfg.RanksPerChannel*cfg.BanksPerRank)
+		channels[i].nextRefresh = uint64(cfg.TREFI)
+	}
+	res := DRAMResult{Completions: make(map[uint64]DRAMCompletion, len(reqs))}
+	var queueSum, queueSamples, readLatSum, writeLatSum uint64
+
+	for _, req := range reqs {
+		coord := decomposeAddr(cfg, req.Addr)
+		ch := &channels[coord.channel]
+		// The production controller samples the channel queue length at
+		// enqueue; in the enqueue-all-then-drain regime that is the
+		// number of this channel's requests not yet serviced, which here
+		// (service is immediate) is the count of earlier arrivals still
+		// notionally queued: with all enqueues preceding any service, the
+		// k-th request of a channel sees k-1 predecessors.
+		queueSamples++
+		queueSum += ch.enqueued
+		ch.enqueued++
+		if req.Write {
+			res.Writes++
+		} else {
+			res.Reads++
+		}
+
+		t := ch.busFree
+		if req.Arrival > t {
+			t = req.Arrival
+		}
+		if cfg.TREFI > 0 {
+			for t >= ch.nextRefresh {
+				end := ch.nextRefresh + uint64(cfg.TRFC)
+				for bi := range ch.banks {
+					ch.banks[bi].hasOpenRow = false
+					if ch.banks[bi].readyAt < end {
+						ch.banks[bi].readyAt = end
+					}
+				}
+				if ch.busFree < end {
+					ch.busFree = end
+				}
+				ch.nextRefresh += uint64(cfg.TREFI)
+				res.Refreshes++
+			}
+			if ch.busFree > t {
+				t = ch.busFree
+			}
+		}
+
+		b := &ch.banks[coord.bankIdx]
+		start := t
+		if b.readyAt > start {
+			start = b.readyAt
+		}
+		var dataStart uint64
+		var rowHit bool
+		switch {
+		case b.hasOpenRow && b.openRow == coord.row:
+			rowHit = true
+			res.RowHits++
+			dataStart = start + uint64(cfg.TCAS)
+		case !b.hasOpenRow:
+			res.RowMisses++
+			dataStart = start + uint64(cfg.TRCD+cfg.TCAS)
+			b.activatedAt = start
+		default:
+			res.RowConflicts++
+			pre := start
+			if min := b.activatedAt + uint64(cfg.TRAS); min > pre {
+				pre = min
+			}
+			actAt := pre + uint64(cfg.TRP)
+			dataStart = actAt + uint64(cfg.TRCD+cfg.TCAS)
+			b.activatedAt = actAt
+		}
+		b.openRow, b.hasOpenRow = coord.row, true
+
+		if dataStart < ch.busFree {
+			dataStart = ch.busFree
+		}
+		done := dataStart + burst
+		ch.busFree = done
+		b.readyAt = dataStart
+
+		lat := done - req.Arrival
+		if req.Write {
+			writeLatSum += lat
+		} else {
+			readLatSum += lat
+		}
+		res.Completions[req.ID] = DRAMCompletion{Done: done, RowHit: rowHit}
+	}
+
+	if queueSamples > 0 {
+		res.AvgQueueLen = float64(queueSum) / float64(queueSamples)
+	}
+	if res.Reads > 0 {
+		res.AvgReadLatency = float64(readLatSum) / float64(res.Reads)
+	}
+	if res.Writes > 0 {
+		res.AvgWriteLatency = float64(writeLatSum) / float64(res.Writes)
+	}
+	return res, nil
+}

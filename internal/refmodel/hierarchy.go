@@ -1,0 +1,119 @@
+package refmodel
+
+import (
+	"fmt"
+
+	"github.com/uteda/gmap/internal/cache"
+)
+
+// Hierarchy replays an in-order demand stream through a reference L1 and
+// a reference bank-interleaved L2, mirroring the production simulator's
+// access path for a single warp on a single core with unbounded MSHRs —
+// the regime where the simulator's request order is exactly the warp's
+// program order and every memory-side effect is deterministic. DRAM
+// traffic is counted, not timed.
+type Hierarchy struct {
+	L1 *Cache
+
+	l2banks  []*Cache
+	l2line   uint64
+	numBanks uint64
+
+	// DRAMReads and DRAMWrites count the requests the production
+	// simulator would enqueue on the memory controller.
+	DRAMReads  uint64
+	DRAMWrites uint64
+}
+
+// NewHierarchy builds the reference hierarchy. l2cfg describes the whole
+// L2; its capacity is split evenly over numBanks slices exactly as
+// cache.NewBanked does.
+func NewHierarchy(l1cfg, l2cfg cache.Config, numBanks int) (*Hierarchy, error) {
+	l1, err := NewCache(l1cfg)
+	if err != nil {
+		return nil, err
+	}
+	if numBanks <= 0 || numBanks&(numBanks-1) != 0 {
+		return nil, fmt.Errorf("refmodel: bank count %d not a positive power of two", numBanks)
+	}
+	if l2cfg.SizeBytes%numBanks != 0 {
+		return nil, fmt.Errorf("refmodel: L2 size %d not divisible by %d banks", l2cfg.SizeBytes, numBanks)
+	}
+	sliceCfg := l2cfg
+	sliceCfg.SizeBytes = l2cfg.SizeBytes / numBanks
+	h := &Hierarchy{
+		L1:       l1,
+		l2banks:  make([]*Cache, numBanks),
+		l2line:   uint64(l2cfg.LineSize),
+		numBanks: uint64(numBanks),
+	}
+	for i := range h.l2banks {
+		if h.l2banks[i], err = NewCache(sliceCfg); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// l2Access routes an access to its bank slice, translating the slice's
+// victim address back to the real address space.
+func (h *Hierarchy) l2Access(addr uint64, write bool) cache.Result {
+	lineNum := addr / h.l2line
+	bank := lineNum % h.numBanks
+	sliceAddr := (lineNum/h.numBanks)*h.l2line + addr%h.l2line
+	res := h.l2banks[bank].Access(sliceAddr, write)
+	if res.Evicted {
+		victimLine := res.EvictedAddr / h.l2line
+		res.EvictedAddr = (victimLine*h.numBanks + bank) * h.l2line
+	}
+	return res
+}
+
+// L2Stats aggregates the bank slices' statistics.
+func (h *Hierarchy) L2Stats() cache.Stats {
+	var s cache.Stats
+	for _, b := range h.l2banks {
+		s.Add(b.Stats)
+	}
+	return s
+}
+
+// Access sends one demand request through the hierarchy in the order the
+// production simulator does: write-through stores propagate to the L2
+// (and to DRAM on an L2 miss) without blocking; an L1 miss first writes
+// back its dirty victim into the L2, then performs the L2 demand access,
+// whose own dirty victim and demand fill both reach DRAM.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	res := h.L1.Access(addr, write)
+	if res.WroteThrough {
+		l2res := h.l2Access(addr, true)
+		if !l2res.Hit {
+			if l2res.Evicted && l2res.EvictedDirty {
+				h.DRAMWrites++
+			}
+			h.DRAMWrites++
+		}
+		return
+	}
+	if res.Hit {
+		return
+	}
+	if res.Evicted && res.EvictedDirty {
+		wb := h.l2Access(res.EvictedAddr, true)
+		if !wb.Hit && wb.Evicted && wb.EvictedDirty {
+			h.DRAMWrites++
+		}
+	}
+	l2res := h.l2Access(addr, write)
+	if l2res.Hit {
+		return
+	}
+	if l2res.Evicted && l2res.EvictedDirty {
+		h.DRAMWrites++
+	}
+	if write {
+		h.DRAMWrites++
+	} else {
+		h.DRAMReads++
+	}
+}

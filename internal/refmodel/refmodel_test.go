@@ -1,0 +1,194 @@
+package refmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/cache"
+	"github.com/uteda/gmap/internal/dram"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// TestCacheLRUHandComputed drives a 2-way single-set cache through the
+// textbook LRU eviction sequence.
+func TestCacheLRUHandComputed(t *testing.T) {
+	c, err := NewFullyAssocCache(2, 64, cache.WriteBackAllocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.Access(0, false); res.Hit || res.Evicted {
+		t.Fatalf("cold miss on empty cache: %+v", res)
+	}
+	if res := c.Access(64, false); res.Hit || res.Evicted {
+		t.Fatalf("second cold miss fills free way: %+v", res)
+	}
+	if res := c.Access(0, false); !res.Hit {
+		t.Fatalf("line 0 should hit: %+v", res)
+	}
+	// LRU is now line 64; a third line must evict it.
+	res := c.Access(128, true)
+	if res.Hit || !res.Evicted || res.EvictedAddr != 64 || res.EvictedDirty {
+		t.Fatalf("expected clean eviction of 64: %+v", res)
+	}
+	// Line 128 is dirty (write-back); evicting it must report dirty.
+	c.Access(0, false)
+	res = c.Access(192, false)
+	if !res.Evicted || res.EvictedAddr != 128 || !res.EvictedDirty {
+		t.Fatalf("expected dirty eviction of 128: %+v", res)
+	}
+	if c.Stats.Writebacks != 1 || c.Stats.Evictions != 2 || c.Stats.Hits != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+// TestCacheWriteThrough pins the no-allocate store semantics: stores
+// never install and count a writeback on both hit and miss.
+func TestCacheWriteThrough(t *testing.T) {
+	c, err := NewFullyAssocCache(2, 64, cache.WriteThroughNoAllocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Access(0, true)
+	if res.Hit || !res.WroteThrough {
+		t.Fatalf("WT store miss: %+v", res)
+	}
+	if c.Probe(0) {
+		t.Fatal("WT store miss must not allocate")
+	}
+	c.Access(0, false) // install via load
+	res = c.Access(0, true)
+	if !res.Hit || !res.WroteThrough {
+		t.Fatalf("WT store hit: %+v", res)
+	}
+	if c.Stats.Writebacks != 2 {
+		t.Fatalf("writebacks = %d, want 2", c.Stats.Writebacks)
+	}
+}
+
+// TestCacheFillDoesNotRefreshRecency pins the subtle production
+// behaviour the reference must copy: a Fill that hits leaves the line's
+// recency position unchanged.
+func TestCacheFillDoesNotRefreshRecency(t *testing.T) {
+	c, err := NewFullyAssocCache(2, 64, cache.WriteBackAllocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false)
+	c.Access(64, false)
+	// Fill-hit on 0 must NOT make it MRU...
+	if res := c.Fill(0); !res.Hit {
+		t.Fatal("fill of resident line should report hit")
+	}
+	// ...so 0 is still the LRU victim.
+	res := c.Access(128, false)
+	if res.EvictedAddr != 0 {
+		t.Fatalf("evicted %d, want 0 (fill must not refresh recency)", res.EvictedAddr)
+	}
+	if c.Stats.PrefetchFills != 0 {
+		t.Fatalf("fill-hit counted as prefetch fill: %+v", c.Stats)
+	}
+}
+
+// TestDistancesHandComputed checks the quadratic profiler on the classic
+// example stream.
+func TestDistancesHandComputed(t *testing.T) {
+	got := Distances([]uint64{1, 2, 3, 2, 1, 1, 3})
+	want := []int64{Cold, Cold, Cold, 1, 2, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Distances = %v, want %v", got, want)
+	}
+	if out := Distances(nil); len(out) != 0 {
+		t.Fatalf("empty stream produced %v", out)
+	}
+}
+
+// TestCoalesceHandComputed checks first-touch ordering and thread counts.
+func TestCoalesceHandComputed(t *testing.T) {
+	addrs := []uint64{256, 0, 260, 128, 4}
+	got := Coalesce(3, 0x400, trace.Load, addrs, 128)
+	want := []trace.Request{
+		{PC: 0x400, Addr: 256, Kind: trace.Load, WarpID: 3, Threads: 2},
+		{PC: 0x400, Addr: 0, Kind: trace.Load, WarpID: 3, Threads: 2},
+		{PC: 0x400, Addr: 128, Kind: trace.Load, WarpID: 3, Threads: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Coalesce = %+v, want %+v", got, want)
+	}
+	if Coalesce(0, 0, trace.Load, nil, 128) != nil {
+		t.Fatal("empty warp must coalesce to nil")
+	}
+}
+
+// TestFIFODRAMHandComputed walks one bank through the three row-buffer
+// outcomes with hand-derived timing.
+func TestFIFODRAMHandComputed(t *testing.T) {
+	cfg := dram.Config{
+		Channels: 1, RanksPerChannel: 1, BanksPerRank: 2,
+		RowBytes: 512, TxBytes: 128, BusBytes: 8,
+		TRCD: 5, TCAS: 4, TRP: 3, TRAS: 10,
+		Sched: dram.FCFS, Mapping: dram.RoBaRaCoCh,
+	}
+	// RoBaRaCoCh, 1 channel, 1 rank: line -> col (4 cols), bank (2), row.
+	// addr 0: bank 0 row 0 col 0. addr 128: bank 0 row 0 col 1 (row hit).
+	// addr 1024 (line 8): col 0, bank 0, row 1 (conflict).
+	reqs := []DRAMRequest{
+		{ID: 0, Addr: 0, Arrival: 0},
+		{ID: 1, Addr: 128, Arrival: 0},
+		{ID: 2, Addr: 1024, Arrival: 0},
+	}
+	res, err := RunFIFODRAM(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// burst = 128/(2*8) = 8 cycles.
+	// req 0: closed row: dataStart = 0+5+4 = 9, done 17, activatedAt 0.
+	// req 1: t = busFree = 17, row hit: dataStart = 17+4 = 21 -> done 29.
+	// req 2: t = 29, conflict: pre = max(29, 0+10) = 29, act = 32,
+	//        dataStart = 32+5+4 = 41, done 49.
+	want := map[uint64]DRAMCompletion{
+		0: {Done: 17, RowHit: false},
+		1: {Done: 29, RowHit: true},
+		2: {Done: 49, RowHit: false},
+	}
+	if !reflect.DeepEqual(res.Completions, want) {
+		t.Fatalf("completions = %+v, want %+v", res.Completions, want)
+	}
+	if res.RowHits != 1 || res.RowMisses != 1 || res.RowConflicts != 1 {
+		t.Fatalf("row outcomes = %d/%d/%d, want 1/1/1", res.RowHits, res.RowMisses, res.RowConflicts)
+	}
+}
+
+// TestDecomposeAgreesWithProduction differentially checks the
+// independent address decomposition against dram.Config.Decompose.
+func TestDecomposeAgreesWithProduction(t *testing.T) {
+	for _, mapping := range []dram.AddrMapping{dram.RoBaRaCoCh, dram.ChRaBaRoCo} {
+		cfg := dram.DefaultGDDR3()
+		cfg.Mapping = mapping
+		for addr := uint64(0); addr < 1<<22; addr += 12345 {
+			want := cfg.Decompose(addr)
+			got := decomposeAddr(cfg, addr)
+			if got.channel != want.Channel || got.row != want.Row || got.col != want.Col ||
+				got.bankIdx != want.Rank*cfg.BanksPerRank+want.Bank {
+				t.Fatalf("%v addr %#x: got %+v want %+v", mapping, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestHierarchyCountsDRAMTraffic pins the reference hierarchy's
+// write-back plumbing on a single-line L1 and L2.
+func TestHierarchyCountsDRAMTraffic(t *testing.T) {
+	one := cache.Config{SizeBytes: 64, Ways: 1, LineSize: 64}
+	h, err := NewHierarchy(one, one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, true)   // L1 miss dirty install; L2 miss install; DRAM write (store miss)
+	h.Access(64, false) // evicts dirty 0 -> L2 writeback evicts 0? L2 holds 0; writeback hits...
+	if h.DRAMReads == 0 && h.DRAMWrites == 0 {
+		t.Fatal("no DRAM traffic counted")
+	}
+	if got := h.L1.Stats.Accesses; got != 2 {
+		t.Fatalf("L1 accesses = %d, want 2", got)
+	}
+}

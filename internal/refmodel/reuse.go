@@ -1,0 +1,32 @@
+package refmodel
+
+// Cold is the stack distance of a first-touch access, matching
+// reuse.Cold.
+const Cold = -1
+
+// Distances computes the LRU stack distance of every reference with the
+// O(N²) textbook definition: for each access, scan backwards to the
+// previous reference of the same element and count the distinct elements
+// referenced strictly between the two. First touches report Cold.
+func Distances(stream []uint64) []int64 {
+	out := make([]int64, len(stream))
+	for i, e := range stream {
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if stream[j] == e {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			out[i] = Cold
+			continue
+		}
+		distinct := make(map[uint64]struct{})
+		for j := prev + 1; j < i; j++ {
+			distinct[stream[j]] = struct{}{}
+		}
+		out[i] = int64(len(distinct))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Differential tests: the Fenwick-tree stack-distance tracker against
+// the refmodel's quadratic backward-scan profiler.
+package reuse_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/refmodel"
+	"github.com/uteda/gmap/internal/reuse"
+)
+
+// TestDistancesMatchReference compares the batch Distances helper on
+// generated element streams of varying pool sizes, which cover dense
+// revisits, cold-heavy streams and everything between.
+func TestDistancesMatchReference(t *testing.T) {
+	n := proptest.N(t, 200, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0xd15 + i)
+		g := proptest.New(seed)
+		length := 1 + g.R.Intn(300)
+		distinct := 1 + g.R.Intn(length)
+		stream := g.Lines(length, distinct)
+		got := reuse.Distances(stream)
+		want := refmodel.Distances(stream)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: length %d vs reference %d", seed, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("seed %d pos %d: distance %d, reference %d (stream %v)",
+					seed, j, got[j], want[j], stream)
+			}
+		}
+	}
+}
+
+// TestTrackerMatchesReference drives the incremental Tracker one access
+// at a time — the API the profiler actually uses — against the reference
+// distances, and checks the Distinct/Accesses counters.
+func TestTrackerMatchesReference(t *testing.T) {
+	n := proptest.N(t, 200, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x7acc + i)
+		g := proptest.New(seed)
+		length := 1 + g.R.Intn(200)
+		stream := g.Lines(length, 1+g.R.Intn(64))
+		want := refmodel.Distances(stream)
+		tr := reuse.NewTracker(g.R.Intn(32)) // hint independent of stream size
+		seen := map[uint64]bool{}
+		for j, e := range stream {
+			if got := tr.Access(e); got != want[j] {
+				t.Fatalf("seed %d pos %d: Tracker.Access(%d) = %d, reference %d",
+					seed, j, e, got, want[j])
+			}
+			seen[e] = true
+		}
+		if tr.Distinct() != len(seen) {
+			t.Fatalf("seed %d: Distinct = %d, want %d", seed, tr.Distinct(), len(seen))
+		}
+		if tr.Accesses() != length {
+			t.Fatalf("seed %d: Accesses = %d, want %d", seed, tr.Accesses(), length)
+		}
+	}
+}
+
+// TestHistogramMatchesReference rebuilds the reuse histogram from the
+// reference distances and requires identical per-key counts and total.
+func TestHistogramMatchesReference(t *testing.T) {
+	n := proptest.N(t, 200, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x415706 + i)
+		g := proptest.New(seed)
+		stream := g.Lines(1+g.R.Intn(250), 1+g.R.Intn(80))
+		h := reuse.Histogram(stream)
+		want := map[int64]uint64{}
+		for _, d := range refmodel.Distances(stream) {
+			want[d]++
+		}
+		keys := h.Keys()
+		if len(keys) != len(want) {
+			t.Fatalf("seed %d: %d histogram keys, reference has %d", seed, len(keys), len(want))
+		}
+		for k, c := range want {
+			if h.Count(k) != c {
+				t.Fatalf("seed %d: count[%d] = %d, reference %d", seed, k, h.Count(k), c)
+			}
+		}
+		if h.Total() != uint64(len(stream)) {
+			t.Fatalf("seed %d: total %d, want %d", seed, h.Total(), len(stream))
+		}
+	}
+}
+
+// TestDistancesIdempotent: Distances must not mutate its input and must
+// be a pure function of it.
+func TestDistancesIdempotent(t *testing.T) {
+	g := proptest.New(99)
+	stream := g.Lines(200, 40)
+	before := append([]uint64(nil), stream...)
+	a := reuse.Distances(stream)
+	b := reuse.Distances(stream)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Distances not deterministic on identical input")
+	}
+	if !reflect.DeepEqual(stream, before) {
+		t.Fatal("Distances mutated its input stream")
+	}
+}

@@ -1,0 +1,117 @@
+// Edge cases of the stack-distance machinery: degenerate streams and the
+// histogram-bucket boundaries the synthesizer's log-binned profiles pivot
+// on.
+package reuse_test
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/reuse"
+	"github.com/uteda/gmap/internal/stats"
+)
+
+// TestEmptyStream: no accesses — no distances, empty histogram, zeroed
+// tracker counters.
+func TestEmptyStream(t *testing.T) {
+	if d := reuse.Distances(nil); len(d) != 0 {
+		t.Fatalf("Distances(nil) = %v", d)
+	}
+	if d := reuse.Distances([]uint64{}); len(d) != 0 {
+		t.Fatalf("Distances(empty) = %v", d)
+	}
+	if h := reuse.Histogram(nil); h.Total() != 0 || h.Len() != 0 {
+		t.Fatalf("Histogram(nil) = %v", h)
+	}
+	tr := reuse.NewTracker(0)
+	if tr.Distinct() != 0 || tr.Accesses() != 0 {
+		t.Fatalf("fresh tracker: distinct %d accesses %d", tr.Distinct(), tr.Accesses())
+	}
+}
+
+// TestSingleRepeatedAddress: one cold miss then all distance-zero reuses.
+func TestSingleRepeatedAddress(t *testing.T) {
+	stream := make([]uint64, 100)
+	for i := range stream {
+		stream[i] = 0xdeadbeef
+	}
+	d := reuse.Distances(stream)
+	if d[0] != reuse.Cold {
+		t.Fatalf("first access distance %d, want Cold", d[0])
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i] != 0 {
+			t.Fatalf("repeat access %d distance %d, want 0", i, d[i])
+		}
+	}
+	h := reuse.Histogram(stream)
+	if h.Count(reuse.Cold) != 1 || h.Count(0) != 99 || h.Total() != 100 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+// TestColdOnlyStream: all-distinct addresses never produce a finite
+// distance, and the tracker's distinct count equals the stream length.
+func TestColdOnlyStream(t *testing.T) {
+	tr := reuse.NewTracker(8)
+	const n = 257 // crosses the Fenwick tree's growth boundary at 256
+	for i := 0; i < n; i++ {
+		if d := tr.Access(uint64(i) * 64); d != reuse.Cold {
+			t.Fatalf("access %d distance %d, want Cold", i, d)
+		}
+	}
+	if tr.Distinct() != n || tr.Accesses() != n {
+		t.Fatalf("distinct %d accesses %d, want %d", tr.Distinct(), tr.Accesses(), n)
+	}
+}
+
+// TestMaximalDistances: a stream visiting k distinct lines then revisiting
+// them in the same order yields distance k-1 for every revisit — the
+// largest distance a k-line footprint can produce.
+func TestMaximalDistances(t *testing.T) {
+	const k = 64
+	stream := make([]uint64, 0, 2*k)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < k; i++ {
+			stream = append(stream, uint64(i)*128)
+		}
+	}
+	d := reuse.Distances(stream)
+	for i := k; i < 2*k; i++ {
+		if d[i] != k-1 {
+			t.Fatalf("revisit %d distance %d, want %d", i, d[i], k-1)
+		}
+	}
+}
+
+// TestLogBinBoundaries pins the bucket edges the synthesizer depends on:
+// distances at or below the linear limit keep exact keys; above it they
+// round up to powers of two; Cold (-1) sits below any sensible limit and
+// must survive binning untouched.
+func TestLogBinBoundaries(t *testing.T) {
+	h := stats.NewHistogram()
+	for _, k := range []int64{reuse.Cold, 0, 63, 64, 65, 127, 128, 129, 255} {
+		h.Add(k)
+	}
+	b := h.LogBin(64)
+	cases := []struct {
+		key   int64
+		count uint64
+	}{
+		{reuse.Cold, 1}, // |−1| ≤ limit: exact
+		{0, 1},
+		{63, 1},
+		{64, 1},  // at the limit: still exact
+		{65, 0},  // above: rounded up...
+		{128, 3}, // ...65, 127 and 128 itself land on 128
+		{256, 2}, // 129 and 255 round to 256
+		{255, 0},
+	}
+	for _, tc := range cases {
+		if got := b.Count(tc.key); got != tc.count {
+			t.Errorf("binned count[%d] = %d, want %d", tc.key, got, tc.count)
+		}
+	}
+	if b.Total() != h.Total() {
+		t.Errorf("binning changed total: %d -> %d", h.Total(), b.Total())
+	}
+}

@@ -102,9 +102,9 @@ func (s Stats) Add(o Stats) Stats {
 // tracker accumulates counters and emits events. finish must be called
 // serially (Run holds a mutex around it).
 type tracker struct {
-	start   time.Time
-	total   int
-	onEvent func(Event)
+	start                      time.Time
+	total                      int
+	onEvent                    func(Event)
 	completed, failed, skipped int
 	work                       time.Duration
 }

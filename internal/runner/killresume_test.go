@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestKillAndResumeReproducesUninterruptedRun is the engine-level crash
+// metamorphic test: a run cancelled partway through (simulating a kill
+// after some checkpoint lines were flushed) must, when resumed, skip
+// exactly the checkpointed jobs and produce the same values in the same
+// order as a run that was never interrupted.
+func TestKillAndResumeReproducesUninterruptedRun(t *testing.T) {
+	const total = 40
+	mkJobs := func() []Job[int] {
+		jobs := make([]Job[int], total)
+		for i := 0; i < total; i++ {
+			i := i
+			jobs[i] = Job[int]{
+				Key: JobKey("killresume", fmt.Sprint(i)),
+				Run: func(ctx context.Context) (int, error) { return i * i, nil },
+			}
+		}
+		return jobs
+	}
+
+	// Uninterrupted reference run.
+	wantResults, _, err := Run(context.Background(), Options{Workers: 1}, mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel from the event hook after a few completions,
+	// exactly where a SIGKILL would land between two checkpoint flushes.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished atomic.Int32
+	_, _, err = Run(ctx, Options{
+		Workers:    2,
+		Checkpoint: path,
+		OnEvent: func(e Event) {
+			if e.Kind == JobDone && finished.Add(1) == 5 {
+				cancel()
+			}
+		},
+	}, mkJobs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+
+	recorded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(recorded)
+	if k == 0 || k == total {
+		t.Fatalf("checkpoint recorded %d/%d jobs; the interruption must land mid-run", k, total)
+	}
+
+	// Resumed run: every recorded job is skipped, the rest execute, and
+	// the combined results are identical to the uninterrupted run.
+	results, st, err := Run(context.Background(), Options{
+		Workers:    2,
+		Checkpoint: path,
+		Resume:     true,
+	}, mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != k {
+		t.Errorf("resume skipped %d jobs, checkpoint holds %d", st.Skipped, k)
+	}
+	if st.Completed != total-k || st.Failed != 0 {
+		t.Errorf("resume stats = %+v, want %d completed", st, total-k)
+	}
+	for i := range results {
+		if results[i].Key != wantResults[i].Key || results[i].Value != wantResults[i].Value {
+			t.Fatalf("result %d = {%s %d}, uninterrupted run had {%s %d}",
+				i, results[i].Key, results[i].Value, wantResults[i].Key, wantResults[i].Value)
+		}
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped != k {
+		t.Errorf("%d results marked skipped, want %d", skipped, k)
+	}
+}
+
+// TestResumeIsIdempotent: resuming twice from a complete checkpoint runs
+// nothing and returns identical values both times.
+func TestResumeIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	jobs := func() []Job[string] {
+		out := make([]Job[string], 10)
+		for i := range out {
+			i := i
+			out[i] = Job[string]{
+				Key: JobKey("idem", fmt.Sprint(i)),
+				Run: func(ctx context.Context) (string, error) { return fmt.Sprintf("v%d", i), nil },
+			}
+		}
+		return out
+	}
+	base, _, err := Run(context.Background(), Options{Checkpoint: path}, jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		res, st, err := Run(context.Background(), Options{Checkpoint: path, Resume: true}, jobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != 0 || st.Skipped != 10 {
+			t.Fatalf("round %d: stats %+v, want all skipped", round, st)
+		}
+		for i := range res {
+			if !reflect.DeepEqual(res[i].Value, base[i].Value) {
+				t.Fatalf("round %d: value %d = %q, want %q", round, i, res[i].Value, base[i].Value)
+			}
+		}
+	}
+}

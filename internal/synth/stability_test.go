@@ -1,0 +1,115 @@
+// Clone-of-clone and robustness properties of the synthesizer. External
+// test package so the proptest generators (which import profiler) and
+// the workload registry can be used together.
+package synth_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/synth"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+// TestGenerateIsDeterministic: the synthesizer is a pure function of
+// (profile, options) — two calls with the same random profile and seed
+// must produce identical proxies or identical errors, and must never
+// panic, across many generated profiles.
+func TestGenerateIsDeterministic(t *testing.T) {
+	n := proptest.N(t, 100, 500)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x5717b + i)
+		g := proptest.New(seed)
+		p := g.Profile()
+		opts := synth.Options{Seed: g.R.Uint64(), ScaleFactor: 1 + 3*g.R.Float64()}
+		a, errA := synth.Generate(p, opts)
+		b, errB := synth.Generate(p, opts)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: errors diverged: %v vs %v", seed, errA, errB)
+		}
+		if errA != nil {
+			if errA.Error() != errB.Error() {
+				t.Fatalf("seed %d: error text diverged: %q vs %q", seed, errA, errB)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: identically seeded generations diverged", seed)
+		}
+	}
+}
+
+// coldFraction is the aggregate cold share of a profile's reuse
+// histograms — the feature the clone-of-clone check tracks.
+func coldFraction(p *profiler.Profile) float64 {
+	var cold, total uint64
+	for _, pp := range p.Profiles {
+		cold += pp.Reuse.Count(-1)
+		total += pp.Reuse.Total()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cold) / float64(total)
+}
+
+// TestCloneOfCloneIsStable: profiling a proxy and synthesizing again must
+// reproduce the proxy's own statistics — the fixed-point property that
+// makes the profile→synthesize loop trustworthy. A drifting second
+// generation means the synthesizer does not actually realize the
+// statistics it is handed.
+func TestCloneOfCloneIsStable(t *testing.T) {
+	for _, name := range []string{"nn", "scalarprod"} {
+		spec, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s not registered", name)
+		}
+		k, err := spec.Trace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg := profiler.DefaultConfig()
+		p1, err := profiler.ProfileKernel(k, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First generation at full scale so the two profiled populations
+		// are directly comparable.
+		opts := synth.Options{Seed: 7, ScaleFactor: 1}
+		proxy1, err := synth.Generate(p1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, err := profiler.ProfileWarps(name, proxy1.GridDim, proxy1.BlockDim, proxy1.Warps, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy2, err := synth.Generate(g1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := profiler.ProfileWarps(name, proxy2.GridDim, proxy2.BlockDim, proxy2.Warps, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if g2.GridDim != g1.GridDim || g2.BlockDim != g1.BlockDim || g2.Warps != g1.Warps {
+			t.Errorf("%s: geometry drifted: gen1 %d/%d/%d, gen2 %d/%d/%d", name,
+				g1.GridDim, g1.BlockDim, g1.Warps, g2.GridDim, g2.BlockDim, g2.Warps)
+		}
+		r1, r2 := float64(g1.TotalRequests), float64(g2.TotalRequests)
+		if r1 == 0 {
+			t.Fatalf("%s: first-generation proxy issued no requests", name)
+		}
+		if rel := math.Abs(r2-r1) / r1; rel > 0.30 {
+			t.Errorf("%s: request volume drifted %.1f%% between generations (%v -> %v)",
+				name, 100*rel, g1.TotalRequests, g2.TotalRequests)
+		}
+		if d := math.Abs(coldFraction(g2) - coldFraction(g1)); d > 0.15 {
+			t.Errorf("%s: cold-reuse fraction drifted by %.3f between generations", name, d)
+		}
+	}
+}

@@ -141,7 +141,10 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nThreads > maxReasonableCount {
+	// Every decoded quantity destined for an int must be capped before the
+	// cast: a corrupt header claiming >= 2^63 would otherwise wrap to a
+	// negative dimension.
+	if grid > maxReasonableCount || block > maxReasonableCount || nThreads > maxReasonableCount {
 		return nil, errTooLarge
 	}
 	k := &KernelTrace{

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -129,6 +130,17 @@ func FuzzReadWarpsBinary(f *testing.F) {
 // large-but-allowed claimed count over an empty body must hit the
 // truncation error without first allocating the claimed size.
 func TestCorruptHeadersError(t *testing.T) {
+	// uv encodes a sequence of uvarints, for assembling corrupt headers.
+	uv := func(vals ...uint64) string {
+		var out []byte
+		var tmp [binary.MaxVarintLen64]byte
+		for _, v := range vals {
+			n := binary.PutUvarint(tmp[:], v)
+			out = append(out, tmp[:n]...)
+		}
+		return string(out)
+	}
+	const wrap = uint64(1) << 63 // wraps to a negative int if cast unchecked
 	cases := []struct {
 		name string
 		data string
@@ -137,6 +149,11 @@ func TestCorruptHeadersError(t *testing.T) {
 		{"huge thread count, empty body", "GMAPTRC1\x00\x01\x01\xff\xff\xff\xff\x07"},
 		{"warp count over limit", "GMAPWRP1\x00\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"},
 		{"huge warp count, empty body", "GMAPWRP1\x00\x01\x01\xff\xff\xff\xff\x07"},
+		{"grid dim wraps negative", "GMAPTRC1" + uv(0, wrap, 1, 0)},
+		{"block dim wraps negative", "GMAPTRC1" + uv(0, 1, wrap, 0)},
+		{"warp grid dim wraps negative", "GMAPWRP1" + uv(0, wrap, 1, 0)},
+		{"warp id wraps negative", "GMAPWRP1" + uv(0, 1, 1, 1, wrap, 0, 0)},
+		{"warp block id wraps negative", "GMAPWRP1" + uv(0, 1, 1, 1, 0, wrap, 0)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -133,7 +133,9 @@ func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nWarps > maxReasonableCount {
+	// Cap every header quantity cast to int (see ReadBinary): corrupt
+	// values >= 2^63 would wrap negative.
+	if grid > maxReasonableCount || block > maxReasonableCount || nWarps > maxReasonableCount {
 		return nil, errTooLarge
 	}
 	wf := &WarpFile{
@@ -155,7 +157,7 @@ func ReadWarpsBinary(r io.Reader) (*WarpFile, error) {
 		if err != nil {
 			return nil, err
 		}
-		if nReq > maxReasonableCount {
+		if id > maxReasonableCount || blk > maxReasonableCount || nReq > maxReasonableCount {
 			return nil, errTooLarge
 		}
 		wt := WarpTrace{
