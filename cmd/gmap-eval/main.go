@@ -45,7 +45,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "stream completed simulation points to this JSONL file")
 		resume      = flag.Bool("resume", false, "skip points already recorded in -checkpoint")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-simulation-point time limit (0 = none)")
-		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON) to this file")
+		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON, incl. worker utilization) to this file")
+		obsSnap     = flag.String("obs-snapshot", "", "dump the observability registry (runner/profiler/synth instrumentation) as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -67,6 +68,9 @@ func main() {
 		Resume:      *resume,
 		JobTimeout:  *jobTimeout,
 		Context:     ctx,
+	}
+	if *obsSnap != "" {
+		opts.Obs = gmap.NewObsRegistry()
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
@@ -92,12 +96,32 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *obsSnap != "" {
+		if err := writeObsSnapshot(*obsSnap, opts.Obs); err != nil {
+			fatal(err)
+		}
+	}
 	if runErr != nil {
 		if ctx.Err() != nil && *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "gmap-eval: interrupted; finished points saved to %s, re-run with -resume\n", *checkpoint)
 		}
 		fatal(runErr)
 	}
+}
+
+func writeObsSnapshot(path string, r *gmap.ObsRegistry) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeSummary(path string, opts *gmap.ExperimentOptions) error {

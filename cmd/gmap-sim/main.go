@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +57,8 @@ func main() {
 		busBytes = flag.Int("dram-bus", 8, "DRAM bus width in bytes")
 		mapping  = flag.String("dram-mapping", "RoBaRaCoCh", "DRAM address mapping: RoBaRaCoCh or ChRaBaRoCo")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+		obsOut   = flag.String("obs-out", "", "stream cycle-sampled observability series to this JSONL file (- for stdout)")
+		obsSnap  = flag.String("obs-snapshot", "", "dump the full observability registry as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -110,9 +113,23 @@ func main() {
 		cfg.L2Prefetcher = p
 	}
 
+	if *obsOut != "" || *obsSnap != "" {
+		cfg.Obs = gmap.NewObsRegistry()
+	}
+
 	metrics, name, err := runSim(*workload, *scale, *in, *proxyIn, cfg, *timeout)
 	if err != nil {
 		fatal(err)
+	}
+	if *obsOut != "" {
+		if err := writeObs(*obsOut, cfg.Obs.WriteSeriesJSONL); err != nil {
+			fatal(err)
+		}
+	}
+	if *obsSnap != "" {
+		if err := writeObs(*obsSnap, cfg.Obs.WriteJSON); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("workload:          %s\n", name)
 	fmt.Printf("requests:          %d\n", metrics.Requests)
@@ -200,6 +217,23 @@ func run(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig) (gm
 		m, err := gmap.SimulateProxy(proxy, cfg)
 		return m, proxy.Name + " (proxy)", err
 	}
+}
+
+// writeObs streams one observability export (JSONL series or a JSON
+// snapshot) to path, with "-" selecting stdout.
+func writeObs(path string, export func(io.Writer) error) error {
+	if path == "-" {
+		return export(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

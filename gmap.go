@@ -35,6 +35,7 @@ import (
 	"github.com/uteda/gmap/internal/eval"
 	"github.com/uteda/gmap/internal/gpu"
 	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/trace"
@@ -93,7 +94,23 @@ type (
 	// and Resume (restartable sweeps via a JSONL point log) and Context
 	// (cancellation) knobs.
 	ExperimentOptions = eval.Options
+
+	// ObsRegistry is the observability metrics registry: live counters,
+	// gauges, bounded histograms and cycle-keyed time-series samplers
+	// that the pipeline reports into when one is attached (via
+	// SimConfig.Obs, ExperimentOptions.Obs, ProfileConfig.Obs or
+	// GenerateOptions.Obs). A nil registry disables all instrumentation
+	// at the cost of one predictable branch per hook; attaching one
+	// never changes any result.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time JSON-marshalable copy of an
+	// ObsRegistry's contents.
+	ObsSnapshot = obs.Snapshot
 )
+
+// NewObsRegistry returns an enabled observability registry ready to be
+// attached to the pipeline.
+func NewObsRegistry() *ObsRegistry { return obs.New() }
 
 // Load/store kinds.
 const (

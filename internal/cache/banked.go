@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/uteda/gmap/internal/obs"
+)
 
 // Banked is an address-interleaved multi-bank cache, used for the shared
 // L2 (Table 2: 1MB in 8 banks). Consecutive lines map to consecutive
@@ -11,6 +15,66 @@ type Banked struct {
 	bankMask uint64
 	bankBits uint
 	lineBits uint
+	// obs holds per-bank observability counters; nil when detached, so
+	// the instrumented access path costs one predictable branch.
+	obs []bankObs
+}
+
+// bankObs is one bank's live counters: demand pressure, miss traffic and
+// write-back pressure toward the next level. Banked has no internal
+// locking — it is driven by one goroutine — so the hot path counts into
+// the plain tallies and FlushObs publishes them in one batch.
+type bankObs struct {
+	accesses   *obs.Counter
+	misses     *obs.Counter
+	writebacks *obs.Counter
+
+	nAccesses   uint64
+	nMisses     uint64
+	nWritebacks uint64
+}
+
+// AttachObs registers per-bank counters ("<prefix>.bank<i>.accesses",
+// ".misses", ".writebacks") with r. A nil registry leaves the cache
+// detached; attaching never changes cache behaviour or Stats.
+func (b *Banked) AttachObs(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	b.obs = make([]bankObs, len(b.banks))
+	for i := range b.banks {
+		name := fmt.Sprintf("%s.bank%d", prefix, i)
+		b.obs[i] = bankObs{
+			accesses:   r.Counter(name + ".accesses"),
+			misses:     r.Counter(name + ".misses"),
+			writebacks: r.Counter(name + ".writebacks"),
+		}
+	}
+}
+
+// note records one access outcome on bank's tallies.
+func (b *Banked) note(bank int, res Result) {
+	o := &b.obs[bank]
+	o.nAccesses++
+	if !res.Hit {
+		o.nMisses++
+	}
+	if res.WroteThrough || (res.Evicted && res.EvictedDirty) {
+		o.nWritebacks++
+	}
+}
+
+// FlushObs publishes the per-bank tallies accumulated since the last
+// flush to the attached registry counters. No-op when detached; callers
+// flush once per run (or before reading the registry), not per access.
+func (b *Banked) FlushObs() {
+	for i := range b.obs {
+		o := &b.obs[i]
+		o.accesses.Add(o.nAccesses)
+		o.misses.Add(o.nMisses)
+		o.writebacks.Add(o.nWritebacks)
+		o.nAccesses, o.nMisses, o.nWritebacks = 0, 0, 0
+	}
 }
 
 // sliceAddr strips the bank-selection bits out of the line number so the
@@ -70,6 +134,9 @@ func (b *Banked) Access(addr uint64, write bool) Result {
 	res := b.banks[bank].Access(b.sliceAddr(addr), write)
 	if res.Evicted {
 		res.EvictedAddr = b.unsliceAddr(res.EvictedAddr, bank)
+	}
+	if b.obs != nil {
+		b.note(bank, res)
 	}
 	return res
 }

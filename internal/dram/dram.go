@@ -14,6 +14,8 @@ package dram
 import (
 	"container/heap"
 	"fmt"
+
+	"github.com/uteda/gmap/internal/obs"
 )
 
 // AddrMapping selects how a physical line address decomposes into
@@ -290,6 +292,74 @@ type Controller struct {
 	inFlight int
 	// Stats is exported for read-out; callers must not mutate it.
 	Stats Stats
+	// obs holds live observability handles; nil when detached, so the
+	// instrumented scheduling path costs one predictable branch.
+	obs *ctrlObs
+}
+
+// ctrlObs mirrors the controller's row-buffer and traffic activity into
+// an observability registry and samples the outstanding-request depth as
+// a cycle-keyed series. Pure observer: it never influences scheduling.
+type ctrlObs struct {
+	rowHits      *obs.Counter
+	rowMisses    *obs.Counter
+	rowConflicts *obs.Counter
+	refreshes    *obs.Counter
+	reads        *obs.Counter
+	writes       *obs.Counter
+	queueDepth   *obs.Sampler
+	latency      *obs.Histogram // per-request arrival-to-data cycles
+
+	// Plain hot-path tallies: the controller is driven by one goroutine,
+	// so command scheduling counts here and FlushObs publishes the batch
+	// to the registry handles above once per run.
+	nRowHits      uint64
+	nRowMisses    uint64
+	nRowConflicts uint64
+	nRefreshes    uint64
+	nReads        uint64
+	nWrites       uint64
+	lat           obs.LocalHistogram
+}
+
+// AttachObs registers the controller's counters ("dram.row_hits",
+// "dram.row_misses", "dram.row_conflicts", "dram.refreshes",
+// "dram.reads", "dram.writes"), the "dram.queue_depth" series and the
+// "dram.latency_cycles" histogram with r. A nil registry detaches.
+func (c *Controller) AttachObs(r *obs.Registry) {
+	if r == nil {
+		c.obs = nil
+		return
+	}
+	c.obs = &ctrlObs{
+		rowHits:      r.Counter("dram.row_hits"),
+		rowMisses:    r.Counter("dram.row_misses"),
+		rowConflicts: r.Counter("dram.row_conflicts"),
+		refreshes:    r.Counter("dram.refreshes"),
+		reads:        r.Counter("dram.reads"),
+		writes:       r.Counter("dram.writes"),
+		queueDepth:   r.Sampler("dram.queue_depth", 0),
+		latency:      r.Histogram("dram.latency_cycles"),
+	}
+}
+
+// FlushObs publishes the tallies accumulated since the last flush to
+// the attached registry handles. No-op when detached; callers flush once
+// per run (or before reading the registry), not per command.
+func (c *Controller) FlushObs() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.rowHits.Add(o.nRowHits)
+	o.rowMisses.Add(o.nRowMisses)
+	o.rowConflicts.Add(o.nRowConflicts)
+	o.refreshes.Add(o.nRefreshes)
+	o.reads.Add(o.nReads)
+	o.writes.Add(o.nWrites)
+	o.nRowHits, o.nRowMisses, o.nRowConflicts = 0, 0, 0
+	o.nRefreshes, o.nReads, o.nWrites = 0, 0, 0
+	o.lat.FlushTo(o.latency)
 }
 
 // NewController builds a controller.
@@ -324,6 +394,14 @@ func (c *Controller) Enqueue(addr uint64, write bool, now uint64) uint64 {
 	}
 	ch.queue = append(ch.queue, pending{id: id, addr: addr, write: write, arrival: now, coord: coord})
 	c.inFlight++
+	if c.obs != nil {
+		if write {
+			c.obs.nWrites++
+		} else {
+			c.obs.nReads++
+		}
+		c.obs.queueDepth.Sample(now, float64(c.inFlight))
+	}
 	return id
 }
 
@@ -412,6 +490,9 @@ func (c *Controller) serviceOne(ch *channel, now uint64) bool {
 			}
 			ch.nextRefresh += uint64(c.cfg.TREFI)
 			c.Stats.Refreshes++
+			if c.obs != nil {
+				c.obs.nRefreshes++
+			}
 		}
 		if ch.busFree > t {
 			t = ch.busFree
@@ -460,13 +541,22 @@ func (c *Controller) serviceOne(ch *channel, now uint64) bool {
 	case b.hasOpenRow && b.openRow == p.coord.Row:
 		rowHit = true
 		c.Stats.RowHits++
+		if c.obs != nil {
+			c.obs.nRowHits++
+		}
 		dataStart = start + uint64(c.cfg.TCAS)
 	case !b.hasOpenRow:
 		c.Stats.RowMisses++
+		if c.obs != nil {
+			c.obs.nRowMisses++
+		}
 		dataStart = start + uint64(c.cfg.TRCD+c.cfg.TCAS)
 		b.activatedAt = start
 	default:
 		c.Stats.RowConflicts++
+		if c.obs != nil {
+			c.obs.nRowConflicts++
+		}
 		// Precharge may not begin before tRAS from the last activate.
 		pre := start
 		if min := b.activatedAt + uint64(c.cfg.TRAS); min > pre {
@@ -492,6 +582,9 @@ func (c *Controller) serviceOne(ch *channel, now uint64) bool {
 		c.Stats.writeLatSum += lat
 	} else {
 		c.Stats.readLatSum += lat
+	}
+	if c.obs != nil {
+		c.obs.lat.Observe(lat)
 	}
 	heap.Push(&ch.done, Completion{ID: p.id, Done: done, RowHit: rowHit, Write: p.write, Arrival: p.arrival})
 	return true

@@ -9,6 +9,7 @@ import (
 
 	"github.com/uteda/gmap/internal/core"
 	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/stats"
@@ -50,6 +51,11 @@ type Options struct {
 	// JobTimeout, when non-zero, bounds each simulation point's wall
 	// time; a timed-out point fails that job without killing the sweep.
 	JobTimeout time.Duration
+	// Obs, when non-nil, collects execution instrumentation across the
+	// run: runner job/checkpoint timings and utilization, plus
+	// profiling/generation phase histograms ("profile.*", "synth.*").
+	// Purely observational; results are identical with or without it.
+	Obs *obs.Registry
 
 	// progressMu serializes Progress delivery; exec accumulates runner
 	// statistics. Both are pointers so copies of an Options value share
@@ -145,6 +151,7 @@ func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runn
 		Timeout:    o.JobTimeout,
 		Checkpoint: o.Checkpoint,
 		Resume:     o.Resume,
+		Obs:        o.Obs,
 		OnEvent: func(e runner.Event) {
 			if e.Kind == runner.JobFailed {
 				o.logf("%s job %s failed: %v", experiment, e.Key, e.Err)
@@ -186,7 +193,8 @@ func collectErrors[R any](experiment string, results []runner.Result[R]) error {
 // prepare builds the workload pipeline for one benchmark.
 func (o *Options) prepare(name string) (*core.Workload, error) {
 	pcfg := profiler.DefaultConfig()
-	return core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor})
+	pcfg.Obs = o.Obs
+	return core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor, Obs: o.Obs})
 }
 
 // workloadCache builds each benchmark's pipeline at most once, on the

@@ -1,0 +1,140 @@
+package memsim
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/cache"
+	"github.com/uteda/gmap/internal/dram"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// TestDiffStats pins the snapshot subtraction behind per-launch metric
+// windows: every field diffs independently, and a window closed with no
+// traffic is all zeros.
+func TestDiffStats(t *testing.T) {
+	before := cache.Stats{
+		Accesses: 100, Hits: 70, Misses: 30,
+		Reads: 80, Writes: 20,
+		Evictions: 10, Writebacks: 5,
+		PrefetchFills: 3, PrefetchUseful: 1,
+	}
+	now := cache.Stats{
+		Accesses: 260, Hits: 170, Misses: 90,
+		Reads: 200, Writes: 60,
+		Evictions: 35, Writebacks: 17,
+		PrefetchFills: 9, PrefetchUseful: 4,
+	}
+	got := diffStats(now, before)
+	want := cache.Stats{
+		Accesses: 160, Hits: 100, Misses: 60,
+		Reads: 120, Writes: 40,
+		Evictions: 25, Writebacks: 12,
+		PrefetchFills: 6, PrefetchUseful: 3,
+	}
+	if got != want {
+		t.Fatalf("diffStats = %+v, want %+v", got, want)
+	}
+	if zero := diffStats(now, now); zero != (cache.Stats{}) {
+		t.Fatalf("diffStats(x, x) = %+v, want zero", zero)
+	}
+	if id := diffStats(now, cache.Stats{}); id != now {
+		t.Fatalf("diffStats(x, 0) = %+v, want %+v", id, now)
+	}
+}
+
+// launchWarps builds one deterministic launch: nWarps warps in one
+// block, each streaming strided loads over its own region.
+func launchWarps(nWarps, nReqs int, base uint64) []trace.WarpTrace {
+	warps := make([]trace.WarpTrace, nWarps)
+	for w := range warps {
+		reqs := make([]trace.Request, nReqs)
+		for i := range reqs {
+			reqs[i] = trace.Request{
+				PC:      0x400,
+				Addr:    base + uint64(w)<<16 + uint64(i)*128,
+				Kind:    trace.Load,
+				WarpID:  w,
+				Threads: 32,
+			}
+		}
+		warps[w] = trace.WarpTrace{WarpID: w, Block: 0, Requests: reqs}
+	}
+	return warps
+}
+
+// TestPerLaunchSlicing runs a three-launch sequence and requires the
+// per-launch windows to exactly partition the run totals: requests,
+// cycles and every L1/L2 stat must sum back to the whole-run metrics.
+func TestPerLaunchSlicing(t *testing.T) {
+	launches := [][]trace.WarpTrace{
+		launchWarps(2, 20, 1<<20),
+		launchWarps(3, 10, 1<<24),
+		launchWarps(1, 30, 1<<26),
+	}
+	cfg := Config{
+		NumCores: 2,
+		L1:       cache.Config{SizeBytes: 1 << 12, Ways: 4, LineSize: 128},
+		L2:       cache.Config{SizeBytes: 1 << 14, Ways: 8, LineSize: 128},
+		L2Banks:  2,
+		DRAM:     dram.DefaultGDDR3(),
+	}
+	sim, err := NewSequence(launches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := len(m.PerLaunch), len(launches); got != want {
+		t.Fatalf("PerLaunch has %d windows, want %d", got, want)
+	}
+	var reqs, cycles uint64
+	var l1, l2 cache.Stats
+	for i, lm := range m.PerLaunch {
+		if lm.Launch != i {
+			t.Fatalf("window %d labeled launch %d", i, lm.Launch)
+		}
+		if lm.Requests == 0 || lm.Cycles == 0 {
+			t.Fatalf("window %d is empty: %+v", i, lm)
+		}
+		reqs += lm.Requests
+		cycles += lm.Cycles
+		l1.Add(lm.L1)
+		l2.Add(lm.L2)
+	}
+	if reqs != m.Requests {
+		t.Fatalf("per-launch requests sum %d != total %d", reqs, m.Requests)
+	}
+	if cycles != m.Cycles {
+		t.Fatalf("per-launch cycles sum %d != total %d", cycles, m.Cycles)
+	}
+	if l1 != m.L1 {
+		t.Fatalf("per-launch L1 sum %+v != total %+v", l1, m.L1)
+	}
+	if l2 != m.L2 {
+		t.Fatalf("per-launch L2 sum %+v != total %+v", l2, m.L2)
+	}
+
+	// Per-launch request counts must reflect each launch's issue volume:
+	// launch 0 issued 2x20, launch 1 3x10, launch 2 1x30 warp requests.
+	for i, want := range []uint64{40, 30, 30} {
+		if got := m.PerLaunch[i].Requests; got != want {
+			t.Fatalf("launch %d requests = %d, want %d", i, got, want)
+		}
+	}
+
+	// A single launch must not produce a per-launch breakdown.
+	single, err := New(launchWarps(2, 10, 1<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.PerLaunch) != 0 {
+		t.Fatalf("single launch recorded %d windows", len(sm.PerLaunch))
+	}
+}

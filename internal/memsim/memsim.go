@@ -19,6 +19,7 @@ import (
 
 	"github.com/uteda/gmap/internal/cache"
 	"github.com/uteda/gmap/internal/dram"
+	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/prefetch"
 	"github.com/uteda/gmap/internal/rng"
 	"github.com/uteda/gmap/internal/trace"
@@ -81,6 +82,12 @@ type Config struct {
 	SchedPself float64
 	// Seed drives stochastic scheduling decisions.
 	Seed uint64
+	// Obs, when non-nil, receives live instrumentation: per-core
+	// warp-queue depth and MSHR occupancy series, cumulative and
+	// per-launch miss-rate samples, scheduler stall reasons, L2 bank
+	// conflicts and DRAM row/queue/latency activity. Observability is
+	// write-only: Metrics are bit-identical whether Obs is set or nil.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the Table 2 profiled system: 15 SMs, 16KB 4-way
@@ -194,6 +201,9 @@ type Simulator struct {
 	flights    map[uint64]*flight // DRAM request id -> flight
 	lineFlight map[uint64]uint64  // (core, L1 line) key -> DRAM request id
 	metrics    Metrics
+	// obs carries the pre-resolved observability handles; nil when
+	// disabled (see obs.go).
+	obs *simObs
 	// Epoch-boundary snapshots for the per-launch breakdown.
 	lastSnap struct {
 		cycle    uint64
@@ -272,6 +282,9 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 	if s.dram, err = dram.NewController(cfg.DRAM); err != nil {
 		return nil, err
 	}
+	s.obs = newSimObs(cfg.Obs, cfg.NumCores, cfg.L2Banks)
+	s.l2.AttachObs(cfg.Obs, "l2")
+	s.dram.AttachObs(cfg.Obs)
 	s.l2pf = cfg.L2Prefetcher
 	if s.l2pf == nil {
 		s.l2pf = prefetch.Nil{}
@@ -359,6 +372,15 @@ func (s *Simulator) admitBlock(core *coreState) {
 
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() (Metrics, error) {
+	if s.obs != nil {
+		// The hierarchy's hot paths count into plain tallies; publish
+		// them to the registry on every return path.
+		defer func() {
+			s.obs.flush()
+			s.l2.FlushObs()
+			s.dram.FlushObs()
+		}()
+	}
 	var cycle uint64
 	// Every warp retires exactly once, through compactCore; warps with no
 	// memory work retire on the first pass.
@@ -375,10 +397,15 @@ func (s *Simulator) Run() (Metrics, error) {
 		for _, comp := range s.dram.AdvanceTo(cycle) {
 			s.complete(comp)
 		}
+		if s.obs != nil {
+			s.sampleCycle(cycle)
+		}
 		issued := false
 		for c := range s.cores {
 			if s.issue(c, cycle) {
 				issued = true
+			} else if s.obs != nil {
+				s.noteStall(c)
 			}
 		}
 		for c := range s.cores {
@@ -439,6 +466,9 @@ func (s *Simulator) recordLaunch(cycle uint64) {
 	}
 	lm.L1 = diffStats(l1, s.lastSnap.l1)
 	lm.L2 = diffStats(l2, s.lastSnap.l2)
+	if s.obs != nil {
+		s.obs.noteLaunch(lm, cycle)
+	}
 	s.metrics.PerLaunch = append(s.metrics.PerLaunch, lm)
 	s.lastSnap.cycle = cycle
 	s.lastSnap.requests = s.metrics.Requests
@@ -473,6 +503,9 @@ func (s *Simulator) complete(comp dram.Completion) {
 		ws.waiting = false
 		ws.readyAt = comp.Done
 	}
+	if s.obs != nil {
+		s.obs.waiting[f.core] -= len(f.warps)
+	}
 	s.cores[f.core].mshr.Release(f.line)
 	delete(s.lineFlight, flightKey(f.core, f.line))
 	delete(s.flights, comp.ID)
@@ -496,7 +529,7 @@ func (s *Simulator) compactCore(c int, cycle uint64, remaining *int) {
 			} else if s.blockWait[ws.block] >= s.blockRem[ws.block] {
 				// The retiree was the last warp the barrier was waiting
 				// for: release the parked ones.
-				s.releaseBarrier(ws.block, cycle)
+				s.releaseBarrier(c, ws.block, cycle)
 			}
 			continue
 		}
@@ -585,12 +618,15 @@ func (s *Simulator) issue(c int, cycle uint64) bool {
 	if req.Kind == trace.Sync {
 		// Threadblock barrier (§4.5): park the warp; when every live warp
 		// of the block has arrived, release them all past the barrier.
-		s.arriveBarrier(wi, cycle)
+		s.arriveBarrier(c, wi, cycle)
 		return true
 	}
 	if !s.access(c, wi, req, cycle) {
 		// MSHR full: the slot is lost and the warp retries later.
 		s.metrics.MSHRStalls++
+		if s.obs != nil {
+			s.obs.nStallMSHR++
+		}
 		ws.readyAt = cycle + 1
 		return true
 	}
@@ -602,24 +638,32 @@ func (s *Simulator) issue(c int, cycle uint64) bool {
 // block once every live warp has arrived. Warps that retire early (fewer
 // barriers on their divergent path) simply stop counting toward the
 // block's live population.
-func (s *Simulator) arriveBarrier(wi int, cycle uint64) {
+func (s *Simulator) arriveBarrier(c, wi int, cycle uint64) {
 	ws := &s.warps[wi]
 	b := ws.block
 	ws.atBarrier = true
+	if s.obs != nil {
+		s.obs.nBarriers++
+		s.obs.blocked[c]++
+	}
 	s.blockWait[b]++
 	if s.blockWait[b] >= s.blockRem[b] {
-		s.releaseBarrier(b, cycle)
+		s.releaseBarrier(c, b, cycle)
 	}
 }
 
-// releaseBarrier frees every warp parked at block b's barrier.
-func (s *Simulator) releaseBarrier(b int, cycle uint64) {
+// releaseBarrier frees every warp parked at block b's barrier. c is the
+// core block b resides on (a block is never split across cores).
+func (s *Simulator) releaseBarrier(c, b int, cycle uint64) {
 	for _, other := range s.blockWarps[b] {
 		ow := &s.warps[other]
 		if ow.atBarrier {
 			ow.atBarrier = false
 			ow.cursor++
 			ow.readyAt = cycle + 1
+			if s.obs != nil {
+				s.obs.blocked[c]--
+			}
 		}
 	}
 	s.blockWait[b] = 0
@@ -645,7 +689,13 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 			core.l1.Stats.Reads++
 		}
 		s.metrics.Requests++
+		if s.obs != nil {
+			s.obs.nRequests++
+		}
 		ws.waiting = true
+		if s.obs != nil {
+			s.obs.waiting[c]++
+		}
 		s.flights[reqID].warps = append(s.flights[reqID].warps, wi)
 		return true
 	}
@@ -661,11 +711,17 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 
 	res := core.l1.Access(req.Addr, write)
 	s.metrics.Requests++
+	if s.obs != nil {
+		s.obs.requests.Inc()
+	}
 	s.l1Prefetch(core, req, line, !res.Hit, cycle)
 	if res.WroteThrough {
 		// Write-through L1: the store propagates to the L2 immediately
 		// and the warp continues behind a store buffer — it is never
 		// blocked on the write's completion.
+		if s.obs != nil {
+			s.obs.noteL2Bank(s.l2.BankOf(req.Addr), cycle)
+		}
 		l2res := s.l2.Access(req.Addr, true)
 		if !l2res.Hit {
 			if l2res.Evicted && l2res.EvictedDirty {
@@ -684,6 +740,9 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 		s.l2WriteBack(res.EvictedAddr, cycle)
 	}
 
+	if s.obs != nil {
+		s.obs.noteL2Bank(s.l2.BankOf(req.Addr), cycle)
+	}
 	l2res := s.l2.Access(req.Addr, write)
 	if pf := s.l2pf.Observe(req.PC, req.WarpID, s.l2.LineAddr(req.Addr), !l2res.Hit); pf != nil {
 		s.l2PrefetchFill(pf, cycle)
@@ -702,6 +761,9 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 	s.flights[reqID] = &flight{line: line, core: c, warps: []int{wi}}
 	s.lineFlight[flightKey(c, line)] = reqID
 	ws.waiting = true
+	if s.obs != nil {
+		s.obs.waiting[c]++
+	}
 	return true
 }
 

@@ -1,0 +1,124 @@
+// Property test: observability is write-only. Attaching a registry to
+// the simulator must never change any simulation outcome — the metrics
+// are required to be bit-identical with observability on and off, over
+// randomized multi-core, multi-warp, MSHR-bounded workloads.
+package memsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/uteda/gmap/internal/dram"
+	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// runOnce builds and runs one simulator over warps; obs toggles the
+// attached registry. The registry is returned for instrumentation checks.
+func runOnce(t *testing.T, seed uint64, warps []trace.WarpTrace, cfg memsim.Config, withObs bool) (memsim.Metrics, *obs.Registry) {
+	t.Helper()
+	var r *obs.Registry
+	if withObs {
+		r = obs.New()
+	}
+	cfg.Obs = r
+	sim, err := memsim.New(warps, cfg)
+	if err != nil {
+		t.Fatalf("seed %d (obs=%v): %v", seed, withObs, err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatalf("seed %d (obs=%v): %v", seed, withObs, err)
+	}
+	return m, r
+}
+
+// TestObsInvariance runs randomized workloads twice — observability
+// disabled and enabled — and requires reflect.DeepEqual metrics,
+// including the per-launch breakdown. Any divergence means an
+// instrumentation hook leaked into simulation state.
+func TestObsInvariance(t *testing.T) {
+	n := proptest.N(t, 150, 1000)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x0b5 + i)
+		g := proptest.New(seed)
+		l1cfg := g.CacheConfig()
+		l2cfg := g.CacheConfig()
+		banks := []int{1, 2, 4}[g.R.Intn(3)]
+		for l2cfg.SizeBytes/(l2cfg.Ways*l2cfg.LineSize) < banks {
+			banks /= 2
+		}
+		warps := g.WarpSet(8, 0.05)
+		cfg := memsim.Config{
+			NumCores:     1 + g.R.Intn(4),
+			L1:           l1cfg,
+			L2:           l2cfg,
+			L2Banks:      banks,
+			MSHRsPerCore: []int{0, 1, 4, 64}[g.R.Intn(4)],
+			DRAM:         dram.DefaultGDDR3(),
+			Scheduler:    []memsim.SchedPolicy{memsim.LRR, memsim.GTO}[g.R.Intn(2)],
+			Seed:         g.R.Uint64(),
+		}
+
+		plain, _ := runOnce(t, seed, warps, cfg, false)
+		observed, reg := runOnce(t, seed, warps, cfg, true)
+		if !reflect.DeepEqual(plain, observed) {
+			t.Fatalf("seed %d: metrics diverge with observability attached\n plain:    %+v\n observed: %+v", seed, plain, observed)
+		}
+
+		// The instrumentation itself must agree with the metrics it
+		// shadows: the request counter is the same stream.
+		if got := reg.Counter("memsim.requests").Value(); got != plain.Requests {
+			t.Fatalf("seed %d: obs requests %d != metrics requests %d", seed, got, plain.Requests)
+		}
+	}
+}
+
+// TestObsInvarianceSequence covers the multi-launch path (per-launch
+// windows and launch samplers) with two back-to-back kernel launches.
+func TestObsInvarianceSequence(t *testing.T) {
+	n := proptest.N(t, 50, 300)
+	for i := 0; i < n; i++ {
+		seed := 0x5e90 ^ uint64(i*2654435761)
+		g := proptest.New(seed)
+		launches := [][]trace.WarpTrace{
+			g.WarpSet(4, 0.05),
+			g.WarpSet(4, 0.05),
+		}
+		cfg := memsim.Config{
+			NumCores: 1 + g.R.Intn(2),
+			L1:       g.CacheConfig(),
+			L2:       g.CacheConfig(),
+			L2Banks:  1,
+			DRAM:     dram.DefaultGDDR3(),
+		}
+
+		run := func(withObs bool) (memsim.Metrics, *obs.Registry) {
+			var r *obs.Registry
+			if withObs {
+				r = obs.New()
+			}
+			c := cfg
+			c.Obs = r
+			sim, err := memsim.NewSequence(launches, c)
+			if err != nil {
+				t.Fatalf("seed %d (obs=%v): %v", seed, withObs, err)
+			}
+			m, err := sim.Run()
+			if err != nil {
+				t.Fatalf("seed %d (obs=%v): %v", seed, withObs, err)
+			}
+			return m, r
+		}
+		plain, _ := run(false)
+		observed, reg := run(true)
+		if !reflect.DeepEqual(plain, observed) {
+			t.Fatalf("seed %d: sequence metrics diverge with observability attached", seed)
+		}
+		if got, want := reg.Counter("memsim.launches").Value(), uint64(len(plain.PerLaunch)); got != want {
+			t.Fatalf("seed %d: obs launches %d != recorded launches %d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package obs is the observability layer of the simulation pipeline: a
+// lightweight metrics registry of atomic counters, gauges, bounded
+// power-of-two histograms and ring-buffer time-series samplers keyed by
+// simulation cycle.
+//
+// The design constraint is that instrumentation must be safe to leave in
+// hot paths permanently. Every handle type (*Counter, *Gauge, *Histogram,
+// *Sampler) treats a nil receiver as the no-op implementation, and a nil
+// *Registry hands out nil handles — so a disabled instrumentation point
+// costs exactly one predictable branch and observability can never
+// perturb simulation results (all operations are write-only observers).
+//
+// Handles are safe for concurrent use: counters, gauges and histograms
+// are lock-free atomics; samplers take a short mutex on the (rare) cycles
+// they actually retain a point.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter
+// is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (queue depth, occupancy) that also
+// tracks its high-water mark. The nil Gauge is a no-op.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add moves the level by d and returns nothing; the high-water mark
+// follows the new level.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	v := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 for the nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 for the nil Gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i holds
+// values whose bit length is i, i.e. bucket 0 holds 0, bucket i holds
+// [2^(i-1), 2^i). 65 buckets cover the whole uint64 range, so memory is
+// bounded regardless of what is observed.
+const histBuckets = 65
+
+// Histogram is a bounded power-of-two histogram over uint64 values
+// (latencies in ns, depths, sizes). The nil Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // valid only when count > 0; initialized to ^0
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(^uint64(0))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for the nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// LocalHistogram accumulates observations without atomics, for
+// single-goroutine hot loops that would otherwise pay several atomic
+// operations per Observe. It uses the same bucket layout as Histogram;
+// FlushTo publishes the whole batch into a shared Histogram at once and
+// resets the local state. The zero value is ready to use.
+type LocalHistogram struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one value locally.
+func (l *LocalHistogram) Observe(v uint64) {
+	if l.count == 0 || v < l.min {
+		l.min = v
+	}
+	if v > l.max {
+		l.max = v
+	}
+	l.count++
+	l.sum += v
+	l.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of locally accumulated observations.
+func (l *LocalHistogram) Count() uint64 { return l.count }
+
+// FlushTo merges the accumulated batch into h and resets l. Flushing an
+// empty batch, or flushing into a nil Histogram, is a no-op (the local
+// state still resets in the latter case).
+func (l *LocalHistogram) FlushTo(h *Histogram) {
+	if l.count == 0 {
+		return
+	}
+	if h != nil {
+		h.count.Add(l.count)
+		h.sum.Add(l.sum)
+		for i, n := range l.buckets {
+			if n != 0 {
+				h.buckets[i].Add(n)
+			}
+		}
+		for {
+			m := h.min.Load()
+			if l.min >= m || h.min.CompareAndSwap(m, l.min) {
+				break
+			}
+		}
+		for {
+			m := h.max.Load()
+			if l.max <= m || h.max.CompareAndSwap(m, l.max) {
+				break
+			}
+		}
+	}
+	*l = LocalHistogram{}
+}
+
+// Point is one retained time-series sample.
+type Point struct {
+	Cycle uint64  `json:"cycle"`
+	Value float64 `json:"value"`
+}
+
+// Sampler retains a bounded, cycle-keyed time series. It starts by
+// keeping every offered sample; when the buffer fills it compacts to half
+// by dropping every other point and doubles its sampling stride, so an
+// arbitrarily long run is always summarized by at most Cap points that
+// span the whole cycle range at uniform (power-of-two) resolution.
+//
+// Offered cycles are expected to be nondecreasing (simulation time); the
+// retained series is then sorted by cycle. The nil Sampler is a no-op.
+type Sampler struct {
+	next   atomic.Uint64 // earliest cycle the next sample is taken at
+	mu     sync.Mutex
+	stride uint64
+	cap    int
+	points []Point
+}
+
+// DefaultSamplerCap is the retained-point bound used when a Sampler is
+// created with capacity <= 0.
+const DefaultSamplerCap = 512
+
+func newSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultSamplerCap
+	}
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Sampler{stride: 1, cap: capacity, points: make([]Point, 0, capacity)}
+}
+
+// Due reports whether an offer at cycle would be retained — one atomic
+// load (false for the nil Sampler). Callers use it to skip computing an
+// expensive sample value on the cycles it would be discarded anyway.
+func (s *Sampler) Due(cycle uint64) bool {
+	return s != nil && cycle >= s.next.Load()
+}
+
+// Sample offers one (cycle, value) observation. Most offers return on a
+// single atomic load; a sample is retained only when cycle has advanced
+// past the sampler's current stride boundary.
+func (s *Sampler) Sample(cycle uint64, value float64) {
+	if s == nil || cycle < s.next.Load() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cycle < s.next.Load() { // re-check: another goroutine sampled first
+		return
+	}
+	s.points = append(s.points, Point{Cycle: cycle, Value: value})
+	if len(s.points) >= s.cap {
+		// Keep every other point; double the stride. The retained series
+		// still spans the full cycle range.
+		half := s.points[:0]
+		for i := 0; i < len(s.points); i += 2 {
+			half = append(half, s.points[i])
+		}
+		s.points = half
+		s.stride *= 2
+	}
+	s.next.Store(cycle + s.stride)
+}
+
+// Points returns a copy of the retained series (nil for the nil Sampler).
+func (s *Sampler) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len returns the retained point count.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Cap returns the retained-point bound.
+func (s *Sampler) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
+}
+
+// Registry is a named collection of metrics. The nil Registry is the
+// disabled implementation: every accessor returns a nil (no-op) handle,
+// so components hold their handles unconditionally and pay one branch
+// per instrumentation point when observability is off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	samplers map[string]*Sampler
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		samplers: make(map[string]*Sampler),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use; nil when
+// the registry is disabled.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Sampler returns the named time-series sampler, creating it with the
+// given retained-point capacity on first use (capacity <= 0 selects
+// DefaultSamplerCap; a later capacity is ignored for an existing name).
+func (r *Registry) Sampler(name string, capacity int) *Sampler {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.samplers[name]
+	if s == nil {
+		s = newSampler(capacity)
+		r.samplers[name] = s
+	}
+	return s
+}
+
+// names returns m's keys sorted, for deterministic export.
+func names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNilRegistry pins the disabled implementation: a nil registry hands
+// out nil handles, and every handle method on a nil receiver is a no-op
+// returning zero values. This is the contract that lets instrumentation
+// live in hot paths unconditionally.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports Enabled")
+	}
+	if c := r.Counter("x"); c != nil {
+		t.Fatalf("nil registry Counter = %v, want nil", c)
+	}
+	if g := r.Gauge("x"); g != nil {
+		t.Fatalf("nil registry Gauge = %v, want nil", g)
+	}
+	if h := r.Histogram("x"); h != nil {
+		t.Fatalf("nil registry Histogram = %v, want nil", h)
+	}
+	if s := r.Sampler("x", 16); s != nil {
+		t.Fatalf("nil registry Sampler = %v, want nil", s)
+	}
+
+	// All handle operations must be nil-safe no-ops.
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil Counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil Gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil Histogram has observations")
+	}
+	var s *Sampler
+	s.Sample(1, 2)
+	if s.Points() != nil || s.Len() != 0 || s.Cap() != 0 {
+		t.Fatal("nil Sampler retained points")
+	}
+
+	// Registry-level exports on nil.
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil || snap.Series != nil {
+		t.Fatalf("nil registry Snapshot not zero: %+v", snap)
+	}
+	if err := r.WriteSeriesJSONL(nil); err != nil {
+		t.Fatalf("nil registry WriteSeriesJSONL: %v", err)
+	}
+	if total := r.CounterTotal("x"); total != 0 {
+		t.Fatalf("nil registry CounterTotal = %d", total)
+	}
+	if got := r.String(); got != "obs: disabled" {
+		t.Fatalf("nil registry String = %q", got)
+	}
+
+	// Phase on a nil registry must still run f, exactly once.
+	ran := 0
+	r.Phase("p", func() { ran++ })
+	if ran != 1 {
+		t.Fatalf("nil registry Phase ran f %d times", ran)
+	}
+	r.StartTimer("t").Stop()
+}
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if again := r.Counter("reqs"); again != c {
+		t.Fatal("same name returned a different counter")
+	}
+	if other := r.Counter("other"); other == c {
+		t.Fatal("different names share a counter")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Fatalf("after Set: value=%d max=%d, want 2/5", g.Value(), g.Max())
+	}
+	g.Add(10) // 12: new high water
+	g.Add(-9) // 3
+	if g.Value() != 3 || g.Max() != 12 {
+		t.Fatalf("after Add: value=%d max=%d, want 3/12", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	// Bucket layout: 0 -> bucket 0; [2^(i-1), 2^i) -> bucket i.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+7+8+1024 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	snap := snapshotHistogram(h)
+	if snap.Min != 0 || snap.Max != 1024 {
+		t.Fatalf("min/max = %d/%d, want 0/1024", snap.Min, snap.Max)
+	}
+	want := []Bucket{
+		{Lo: 0, Hi: 0, Count: 1},       // value 0
+		{Lo: 1, Hi: 2, Count: 1},       // 1
+		{Lo: 2, Hi: 4, Count: 2},       // 2, 3
+		{Lo: 4, Hi: 8, Count: 2},       // 4, 7
+		{Lo: 8, Hi: 16, Count: 1},      // 8
+		{Lo: 1024, Hi: 2048, Count: 1}, // 1024
+	}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+	for i, b := range want {
+		if snap.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, snap.Buckets[i], b)
+		}
+	}
+	if got, wantMean := h.Mean(), float64(1049)/8; got != wantMean {
+		t.Fatalf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+// TestLocalHistogramFlush: batching observations through a
+// LocalHistogram and flushing must be indistinguishable from observing
+// the same values directly, and flushing must reset the local state.
+func TestLocalHistogramFlush(t *testing.T) {
+	r := New()
+	direct := r.Histogram("direct")
+	batched := r.Histogram("batched")
+	var local LocalHistogram
+	values := []uint64{0, 1, 2, 3, 4, 7, 8, 1024, 5, 5, 1 << 40}
+	for _, v := range values {
+		direct.Observe(v)
+		local.Observe(v)
+	}
+	if local.Count() != uint64(len(values)) {
+		t.Fatalf("local Count = %d, want %d", local.Count(), len(values))
+	}
+	local.FlushTo(batched)
+	// Interleave a second batch to check merging into non-empty state.
+	for _, v := range []uint64{9, 2} {
+		direct.Observe(v)
+		local.Observe(v)
+	}
+	if local.Count() != 2 {
+		t.Fatalf("local Count after flush = %d, want 2", local.Count())
+	}
+	local.FlushTo(batched)
+
+	ds, bs := snapshotHistogram(direct), snapshotHistogram(batched)
+	if ds.Count != bs.Count || ds.Sum != bs.Sum || ds.Min != bs.Min || ds.Max != bs.Max {
+		t.Fatalf("batched %+v != direct %+v", bs, ds)
+	}
+	if len(ds.Buckets) != len(bs.Buckets) {
+		t.Fatalf("bucket counts differ: %+v vs %+v", bs.Buckets, ds.Buckets)
+	}
+	for i := range ds.Buckets {
+		if ds.Buckets[i] != bs.Buckets[i] {
+			t.Fatalf("bucket %d: batched %+v != direct %+v", i, bs.Buckets[i], ds.Buckets[i])
+		}
+	}
+
+	// Flushing an empty batch, or into a nil histogram, must be safe.
+	local.FlushTo(batched)
+	local.Observe(3)
+	local.FlushTo(nil)
+	if local.Count() != 0 {
+		t.Fatalf("FlushTo(nil) left Count = %d, want 0", local.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := New()
+	h := r.Histogram("empty")
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram has a mean")
+	}
+	snap := snapshotHistogram(h)
+	if snap.Min != 0 || snap.Max != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", snap)
+	}
+}
+
+// TestSamplerSparse: fewer offers than the capacity retains every offer
+// at stride 1.
+func TestSamplerSparse(t *testing.T) {
+	r := New()
+	s := r.Sampler("sparse", 64)
+	for c := uint64(0); c < 30; c++ {
+		s.Sample(c, float64(c)*2)
+	}
+	pts := s.Points()
+	if len(pts) != 30 {
+		t.Fatalf("retained %d points, want 30", len(pts))
+	}
+	for i, p := range pts {
+		if p.Cycle != uint64(i) || p.Value != float64(i)*2 {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+// TestSamplerCompaction: an arbitrarily long dense run stays within the
+// capacity while still spanning the whole cycle range at a uniform
+// power-of-two stride.
+func TestSamplerCompaction(t *testing.T) {
+	const cap = 32
+	const total = 100_000
+	r := New()
+	s := r.Sampler("dense", cap)
+	for c := uint64(0); c < total; c++ {
+		s.Sample(c, float64(c))
+	}
+	pts := s.Points()
+	if len(pts) == 0 || len(pts) > cap {
+		t.Fatalf("retained %d points, want 1..%d", len(pts), cap)
+	}
+	if pts[0].Cycle != 0 {
+		t.Fatalf("first retained cycle = %d, want 0", pts[0].Cycle)
+	}
+	// The sampling stride is a power of two sized to the run: large
+	// enough that cap points cover the range, small enough that the
+	// series is not needlessly sparse.
+	stride := s.stride
+	if stride == 0 || stride&(stride-1) != 0 {
+		t.Fatalf("stride %d is not a positive power of two", stride)
+	}
+	if stride*cap < total/4 || stride*cap > 16*total {
+		t.Fatalf("stride %d badly sized for %d cycles at cap %d", stride, total, cap)
+	}
+	// Resolution bound: no gap between retained points exceeds a few
+	// strides (compaction boundaries may leave off-grid joints, but never
+	// holes), and the series reaches the end of the run.
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Cycle - pts[i-1].Cycle; d > 4*stride {
+			t.Fatalf("gap %d at point %d exceeds 4x stride %d", d, i, stride)
+		}
+		if pts[i].Value != float64(pts[i].Cycle) {
+			t.Fatalf("point %d value %v does not match cycle %d", i, pts[i].Value, pts[i].Cycle)
+		}
+	}
+	if last := pts[len(pts)-1].Cycle; total-last > 4*stride {
+		t.Fatalf("last retained cycle %d is %d cycles short of %d (stride %d)", last, total-last, total, stride)
+	}
+}
+
+// TestSamplerCapFloor: tiny capacities are rounded up so compaction
+// always has room to halve.
+func TestSamplerCapFloor(t *testing.T) {
+	r := New()
+	s := r.Sampler("tiny", 1)
+	if s.Cap() < 8 {
+		t.Fatalf("Cap = %d, want >= 8", s.Cap())
+	}
+	s2 := r.Sampler("deflt", 0)
+	if s2.Cap() != DefaultSamplerCap {
+		t.Fatalf("default Cap = %d, want %d", s2.Cap(), DefaultSamplerCap)
+	}
+}
+
+func TestCounterTotal(t *testing.T) {
+	r := New()
+	r.Counter("l2.bank0.writebacks").Add(3)
+	r.Counter("l2.bank1.writebacks").Add(4)
+	r.Counter("dram.reads").Add(100)
+	if got := r.CounterTotal("l2.bank"); got != 7 {
+		t.Fatalf("CounterTotal(l2.bank) = %d, want 7", got)
+	}
+	if got := r.CounterTotal("nope"); got != 0 {
+		t.Fatalf("CounterTotal(nope) = %d, want 0", got)
+	}
+}
+
+func TestPhaseRecordsHistogram(t *testing.T) {
+	r := New()
+	ran := false
+	r.Phase("unit", func() { ran = true })
+	if !ran {
+		t.Fatal("Phase did not run f")
+	}
+	h := r.Histogram("phase.unit.ns")
+	if h.Count() != 1 {
+		t.Fatalf("phase histogram count = %d, want 1", h.Count())
+	}
+	tm := r.StartTimer("timed.ns")
+	tm.Stop()
+	if r.Histogram("timed.ns").Count() != 1 {
+		t.Fatal("Timer did not record")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := New()
+	r.Counter("a")
+	r.Gauge("b")
+	r.Histogram("c")
+	r.Sampler("d", 0)
+	got := r.String()
+	for _, want := range []string{"1 counters", "1 gauges", "1 histograms", "1 series"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+)
+
+// PhaseLabel is the pprof label key phases are tagged with, so CPU
+// profiles of the pipeline attribute samples to pipeline phases
+// (profile-build, clone-generation, ...) via `go tool pprof -tagfocus`.
+const PhaseLabel = "gmap_phase"
+
+// Phase runs f as one named pipeline phase. With a nil registry it is a
+// direct call — zero instrumentation cost. With an enabled registry the
+// goroutine is labeled PhaseLabel=name for pprof attribution while f
+// runs, and f's wall time is recorded in the "phase.<name>.ns" histogram
+// (Count is the number of times the phase ran).
+func (r *Registry) Phase(name string, f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	pprof.Do(context.Background(), pprof.Labels(PhaseLabel, name), func(context.Context) {
+		f()
+	})
+	r.Histogram("phase." + name + ".ns").Observe(uint64(time.Since(start).Nanoseconds()))
+}
+
+// Timer measures one duration into a histogram: call Stop to record.
+// The nil-registry path costs the usual single branch.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against the named histogram.
+func (r *Registry) StartTimer(name string) Timer {
+	if r == nil {
+		return Timer{}
+	}
+	return Timer{h: r.Histogram(name), start: time.Now()}
+}
+
+// Stop records the elapsed nanoseconds; a Timer from a nil registry is a
+// no-op.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(uint64(time.Since(t.start).Nanoseconds()))
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// hammer runs fn on GOMAXPROCS goroutines, passing each its goroutine
+// index, and waits for all of them.
+func hammer(fn func(g int)) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fn(g)
+		}(g)
+	}
+	wg.Wait()
+	return workers
+}
+
+// TestCounterConcurrent demands exact counts under contention: counters
+// are the ground truth tests compare against, so lost updates are not
+// acceptable.
+func TestCounterConcurrent(t *testing.T) {
+	const perG = 10_000
+	r := New()
+	c := r.Counter("c")
+	workers := hammer(func(int) {
+		for i := 0; i < perG; i++ {
+			c.Inc()
+		}
+	})
+	if got, want := c.Value(), uint64(workers*perG); got != want {
+		t.Fatalf("Value = %d, want %d", got, want)
+	}
+}
+
+// TestGaugeConcurrent: balanced +1/-1 traffic must return to zero, and
+// the high-water mark can never exceed the worker count (at most one
+// outstanding +1 per goroutine).
+func TestGaugeConcurrent(t *testing.T) {
+	const perG = 10_000
+	r := New()
+	g := r.Gauge("g")
+	workers := hammer(func(int) {
+		for i := 0; i < perG; i++ {
+			g.Add(1)
+			g.Add(-1)
+		}
+	})
+	if v := g.Value(); v != 0 {
+		t.Fatalf("Value = %d, want 0", v)
+	}
+	if m := g.Max(); m < 1 || m > int64(workers) {
+		t.Fatalf("Max = %d, want within [1, %d]", m, workers)
+	}
+}
+
+// TestHistogramConcurrent demands exact count and sum under contention.
+func TestHistogramConcurrent(t *testing.T) {
+	const perG = 10_000
+	r := New()
+	h := r.Histogram("h")
+	workers := hammer(func(g int) {
+		for i := 0; i < perG; i++ {
+			h.Observe(uint64(g + 1))
+		}
+	})
+	if got, want := h.Count(), uint64(workers*perG); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	var wantSum uint64
+	for g := 0; g < workers; g++ {
+		wantSum += uint64(g+1) * perG
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+	snap := snapshotHistogram(h)
+	if snap.Min != 1 || snap.Max != uint64(workers) {
+		t.Fatalf("min/max = %d/%d, want 1/%d", snap.Min, snap.Max, workers)
+	}
+	var bucketTotal uint64
+	for _, b := range snap.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != h.Count() {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, h.Count())
+	}
+}
+
+// TestSamplerConcurrent hammers one sampler with interleaved cycle
+// streams. The retained series must stay within the capacity, strictly
+// increase in cycle, and every point's value must be consistent with its
+// cycle (writers publish value = 3*cycle).
+func TestSamplerConcurrent(t *testing.T) {
+	const cap = 64
+	const cycles = 50_000
+	r := New()
+	s := r.Sampler("s", cap)
+	hammer(func(int) {
+		for c := uint64(0); c < cycles; c++ {
+			s.Sample(c, float64(3*c))
+		}
+	})
+	pts := s.Points()
+	if len(pts) == 0 || len(pts) > cap {
+		t.Fatalf("retained %d points, want 1..%d", len(pts), cap)
+	}
+	for i, p := range pts {
+		if p.Value != float64(3*p.Cycle) {
+			t.Fatalf("point %d: value %v inconsistent with cycle %d", i, p.Value, p.Cycle)
+		}
+		if i > 0 && p.Cycle <= pts[i-1].Cycle {
+			t.Fatalf("series not strictly increasing at %d: %d after %d", i, p.Cycle, pts[i-1].Cycle)
+		}
+	}
+}
+
+// TestRegistryConcurrent: concurrent first-use registration of the same
+// names must converge on one handle per name, with no lost metrics.
+func TestRegistryConcurrent(t *testing.T) {
+	const namesN = 32
+	r := New()
+	hammer(func(int) {
+		for i := 0; i < namesN; i++ {
+			name := fmt.Sprintf("m%d", i)
+			r.Counter(name).Inc()
+			r.Gauge(name).Set(int64(i))
+			r.Histogram(name).Observe(uint64(i))
+			r.Sampler(name, 16).Sample(uint64(i), float64(i))
+		}
+	})
+	snap := r.Snapshot()
+	if len(snap.Counters) != namesN || len(snap.Gauges) != namesN ||
+		len(snap.Histograms) != namesN || len(snap.Series) != namesN {
+		t.Fatalf("registry sizes: %d/%d/%d/%d, want %d each",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Series), namesN)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for i := 0; i < namesN; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if got, want := snap.Counters[name], uint64(workers); got != want {
+			t.Fatalf("counter %s = %d, want %d (split registration lost updates)", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotDuringWrites takes snapshots while writers are running:
+// exports must be safe (and internally consistent) at any moment.
+func TestSnapshotDuringWrites(t *testing.T) {
+	r := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := uint64(0); ; c++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter("w").Inc()
+			r.Sampler("w", 32).Sample(c, 1)
+			r.Histogram("w").Observe(c)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		snap := r.Snapshot()
+		if len(snap.Series["w"]) > 32 {
+			t.Errorf("snapshot series overflow: %d", len(snap.Series["w"]))
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

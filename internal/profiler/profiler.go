@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/uteda/gmap/internal/gpu"
+	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/reuse"
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/trace"
@@ -32,6 +33,10 @@ type Config struct {
 	// resolution (<= 64 lines) stay exact; larger ones quantize to powers
 	// of two, which preserves which capacities they straddle.
 	CompressReuse bool
+	// Obs, when non-nil, times the profiling phases ("profile.coalesce",
+	// "profile.extract", "profile.cluster") and tags them with pprof
+	// labels. Purely observational; the produced Profile is identical.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's settings: 128B lines, Th = 0.9, up to
@@ -60,7 +65,10 @@ func ProfileKernel(k *trace.KernelTrace, cfg Config) (*Profile, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	warps := gpu.NewCoalescer(cfg.LineSize).BuildWarpTraces(k)
+	var warps []trace.WarpTrace
+	cfg.Obs.Phase("profile.coalesce", func() {
+		warps = gpu.NewCoalescer(cfg.LineSize).BuildWarpTraces(k)
+	})
 	return ProfileWarps(k.Name, k.GridDim, k.BlockDim, warps, cfg)
 }
 
@@ -75,7 +83,24 @@ func ProfileWarps(name string, gridDim, blockDim int, warps []trace.WarpTrace, c
 		Warps:      len(warps),
 		SchedPself: cfg.SchedPself,
 	}
+	var seqs [][]int
+	var err error
+	cfg.Obs.Phase("profile.extract", func() {
+		seqs, err = extractStats(p, warps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Obs.Phase("profile.cluster", func() {
+		buildPiProfiles(p, warps, seqs, cfg)
+	})
+	return p, p.Validate()
+}
 
+// extractStats runs the per-instruction statistics passes (§4.2) over the
+// warp streams, filling p's instruction table in place, and returns each
+// warp's instruction-index sequence for clustering.
+func extractStats(p *Profile, warps []trace.WarpTrace) ([][]int, error) {
 	// Pass 1: build the static instruction table in first-appearance
 	// order and count dynamic requests.
 	instOf := make(map[uint64]int)
@@ -97,7 +122,7 @@ func ProfileWarps(name string, gridDim, blockDim int, warps []trace.WarpTrace, c
 		}
 	}
 	if len(p.Insts) == 0 {
-		return nil, fmt.Errorf("profiler: %s: no memory requests to profile", name)
+		return nil, fmt.Errorf("profiler: %s: no memory requests to profile", p.Name)
 	}
 
 	// Pass 2: per-warp statistics. firstAddr[w][i] is warp w's first
@@ -224,9 +249,12 @@ func ProfileWarps(name string, gridDim, blockDim int, warps []trace.WarpTrace, c
 			}
 		}
 	}
+	return seqs, nil
+}
 
-	// π profiles: cluster the per-warp instruction sequences (§4.4) and
-	// aggregate per-cluster reuse (P_R) at line granularity.
+// buildPiProfiles clusters the per-warp instruction sequences (§4.4) and
+// aggregates per-cluster reuse (P_R) at line granularity.
+func buildPiProfiles(p *Profile, warps []trace.WarpTrace, seqs [][]int, cfg Config) {
 	clusters := clusterSequences(seqs, cfg.ClusterThreshold, cfg.MaxProfiles)
 	p.Profiles = make([]PiProfile, len(clusters))
 	for ci, cl := range clusters {
@@ -244,7 +272,6 @@ func ProfileWarps(name string, gridDim, blockDim int, warps []trace.WarpTrace, c
 			pp.Reuse = pp.Reuse.LogBin(64)
 		}
 	}
-	return p, p.Validate()
 }
 
 // similarity returns the positional similarity of two instruction

@@ -227,6 +227,74 @@ func (g *G) Requests(n int, syncProb float64) []trace.Request {
 	return out
 }
 
+// WarpSet generates a multi-warp, multi-block workload for whole-machine
+// simulator properties: 1-maxWarps warps spread over 1-4 threadblocks,
+// each with its own structured request stream (and per-slot barrier
+// probability syncProb). Warps in the same block share a barrier scope,
+// so generated streams exercise block residency, barrier reconvergence
+// and cross-core scheduling, not just one warp's request order.
+func (g *G) WarpSet(maxWarps int, syncProb float64) []trace.WarpTrace {
+	if maxWarps < 1 {
+		maxWarps = 1
+	}
+	nWarps := 1 + g.R.Intn(maxWarps)
+	nBlocks := 1 + g.R.Intn(4)
+	if nBlocks > nWarps {
+		nBlocks = nWarps
+	}
+	warps := make([]trace.WarpTrace, nWarps)
+	for w := range warps {
+		reqs := g.Requests(10+g.R.Intn(60), syncProb)
+		for i := range reqs {
+			reqs[i].WarpID = w
+		}
+		warps[w] = trace.WarpTrace{
+			WarpID:   w,
+			Block:    w % nBlocks,
+			Requests: reqs,
+		}
+	}
+	// A barrier joins every warp of its block: each block's warps must
+	// agree on their barrier count or the block deadlocks. Trim every
+	// block to its minimum.
+	syncCount := func(reqs []trace.Request) int {
+		n := 0
+		for _, r := range reqs {
+			if r.Kind == trace.Sync {
+				n++
+			}
+		}
+		return n
+	}
+	minSyncs := make([]int, nBlocks)
+	for i := range minSyncs {
+		minSyncs[i] = -1
+	}
+	for w := range warps {
+		n := syncCount(warps[w].Requests)
+		b := warps[w].Block
+		if minSyncs[b] < 0 || n < minSyncs[b] {
+			minSyncs[b] = n
+		}
+	}
+	for w := range warps {
+		keep := minSyncs[warps[w].Block]
+		out := warps[w].Requests[:0]
+		seen := 0
+		for _, r := range warps[w].Requests {
+			if r.Kind == trace.Sync {
+				if seen >= keep {
+					continue // drop the excess barrier, keep the slot empty
+				}
+				seen++
+			}
+			out = append(out, r)
+		}
+		warps[w].Requests = out
+	}
+	return warps
+}
+
 // histogram builds a histogram over the given keys with random positive
 // counts.
 func (g *G) histogram(keys ...int64) *stats.Histogram {

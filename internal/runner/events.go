@@ -81,6 +81,14 @@ type Stats struct {
 	Work time.Duration `json:"work_ns"`
 	// JobsPerSec is the executed-job throughput over Wall.
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Workers is the pool size the run resolved to (the largest pool when
+	// summaries are merged with Add).
+	Workers int `json:"workers"`
+	// Utilization is Work / (Wall × Workers): the fraction of the pool's
+	// available worker-time spent executing jobs. 1.0 means every worker
+	// was busy the whole run; low values signal feed starvation, skew, or
+	// a pool larger than the job list.
+	Utilization float64 `json:"utilization"`
 }
 
 // Add merges two summaries, recomputing the aggregate rate.
@@ -92,9 +100,13 @@ func (s Stats) Add(o Stats) Stats {
 		Skipped:   s.Skipped + o.Skipped,
 		Wall:      s.Wall + o.Wall,
 		Work:      s.Work + o.Work,
+		Workers:   max(s.Workers, o.Workers),
 	}
 	if out.Wall > 0 {
 		out.JobsPerSec = float64(out.Completed+out.Failed) / out.Wall.Seconds()
+		if out.Workers > 0 {
+			out.Utilization = float64(out.Work) / (float64(out.Wall) * float64(out.Workers))
+		}
 	}
 	return out
 }
@@ -103,14 +115,14 @@ func (s Stats) Add(o Stats) Stats {
 // serially (Run holds a mutex around it).
 type tracker struct {
 	start                      time.Time
-	total                      int
+	total, workers             int
 	onEvent                    func(Event)
 	completed, failed, skipped int
 	work                       time.Duration
 }
 
-func newTracker(total int, onEvent func(Event)) *tracker {
-	return &tracker{start: time.Now(), total: total, onEvent: onEvent}
+func newTracker(total, workers int, onEvent func(Event)) *tracker {
+	return &tracker{start: time.Now(), total: total, workers: workers, onEvent: onEvent}
 }
 
 func (t *tracker) finish(kind EventKind, key string, err error, elapsed time.Duration) {
@@ -148,9 +160,13 @@ func (t *tracker) stats() Stats {
 		Skipped:   t.skipped,
 		Wall:      time.Since(t.start),
 		Work:      t.work,
+		Workers:   t.workers,
 	}
 	if s.Wall > 0 {
 		s.JobsPerSec = float64(s.Completed+s.Failed) / s.Wall.Seconds()
+		if s.Workers > 0 {
+			s.Utilization = float64(s.Work) / (float64(s.Wall) * float64(s.Workers))
+		}
 	}
 	return s
 }

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/uteda/gmap/internal/obs"
 )
 
 // Options configures one Run.
@@ -41,6 +43,12 @@ type Options struct {
 	// OnEvent, when non-nil, receives one Event per finished job (done,
 	// failed, or skipped). Events are delivered serially.
 	OnEvent func(Event)
+	// Obs, when non-nil, records execution instrumentation: per-job wall
+	// time ("runner.job_ns"), checkpoint-append latency
+	// ("runner.checkpoint_append_ns"), job outcome counters and the pool
+	// size ("runner.workers"). Purely observational: results, ordering
+	// and checkpoints are identical with or without it.
+	Obs *obs.Registry
 }
 
 // Job is one unit of work. Key is the job's stable identity across
@@ -86,7 +94,13 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 
 	results := make([]Result[R], len(jobs))
 	done := make([]bool, len(jobs))
-	tr := newTracker(len(jobs), opts.OnEvent)
+	tr := newTracker(len(jobs), workers, opts.OnEvent)
+	jobTime := opts.Obs.Histogram("runner.job_ns")
+	ckptTime := opts.Obs.Histogram("runner.checkpoint_append_ns")
+	jobsDone := opts.Obs.Counter("runner.jobs_done")
+	jobsFailed := opts.Obs.Counter("runner.jobs_failed")
+	jobsSkipped := opts.Obs.Counter("runner.jobs_skipped")
+	opts.Obs.Gauge("runner.workers").Set(int64(workers))
 
 	// Restore checkpointed results before dispatching anything so the
 	// pool only sees genuinely pending work.
@@ -105,6 +119,7 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 			if err := json.Unmarshal(raw, &v); err == nil {
 				results[i] = Result[R]{Key: jobs[i].Key, Value: v, Skipped: true}
 				done[i] = true
+				jobsSkipped.Inc()
 				tr.finish(JobSkipped, jobs[i].Key, nil, 0)
 				continue
 			}
@@ -141,13 +156,22 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 				res := execute(ctx, opts.Timeout, jobs[idx])
 				results[idx] = res
 				done[idx] = true
+				jobTime.Observe(uint64(res.Elapsed))
 				mu.Lock()
 				if res.Err == nil && ckpt != nil {
-					ckpt.append(res.Key, res.Value, res.Elapsed)
+					if ckptTime != nil {
+						ckptStart := time.Now()
+						ckpt.append(res.Key, res.Value, res.Elapsed)
+						ckptTime.Observe(uint64(time.Since(ckptStart)))
+					} else {
+						ckpt.append(res.Key, res.Value, res.Elapsed)
+					}
 				}
 				if res.Err != nil {
+					jobsFailed.Inc()
 					tr.finish(JobFailed, res.Key, res.Err, res.Elapsed)
 				} else {
+					jobsDone.Inc()
 					tr.finish(JobDone, res.Key, nil, res.Elapsed)
 				}
 				mu.Unlock()

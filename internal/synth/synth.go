@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/rng"
 	"github.com/uteda/gmap/internal/stats"
@@ -44,6 +45,10 @@ type Options struct {
 	// Ablation selectively disables generation mechanisms for the
 	// ablation study (DESIGN.md §5); all-false is the full generator.
 	Ablation Ablation
+	// Obs, when non-nil, times clone generation under the
+	// "synth.generate" phase (pprof label + duration histogram). Purely
+	// observational; the generated proxy is identical.
+	Obs *obs.Registry
 }
 
 // Ablation switches off individual clone-generation mechanisms so their
@@ -99,6 +104,16 @@ type instSamplers struct {
 // 1, and returns the coalesced warp streams ready for scheduling onto
 // cores by the memory-hierarchy simulator.
 func Generate(p *profiler.Profile, opts Options) (*Proxy, error) {
+	var proxy *Proxy
+	var err error
+	opts.Obs.Phase("synth.generate", func() {
+		proxy, err = generate(p, opts)
+	})
+	return proxy, err
+}
+
+// generate is the untimed body of Generate.
+func generate(p *profiler.Profile, opts Options) (*Proxy, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
