@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/uteda/gmap"
 	"github.com/uteda/gmap/internal/eval"
@@ -45,6 +46,10 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "stream completed simulation points to this JSONL file")
 		resume      = flag.Bool("resume", false, "skip points already recorded in -checkpoint")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-simulation-point time limit (0 = none)")
+		retries     = flag.Int("retries", 0, "re-execute simulation points failing with a transient error up to N times")
+		retryWait   = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
+		fsync       = flag.Bool("fsync", false, "fsync the checkpoint after every append (survives machine crash, not just SIGKILL)")
+		tolerate    = flag.Bool("tolerate", false, "skip-and-report benchmarks whose sweep points fail instead of aborting the figure")
 		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON, incl. worker utilization) to this file")
 		obsSnap     = flag.String("obs-snapshot", "", "dump the observability registry (runner/profiler/synth instrumentation) as JSON to this file (- for stdout)")
 	)
@@ -59,15 +64,19 @@ func main() {
 	defer stop()
 
 	opts := gmap.ExperimentOptions{
-		Scale:       *scale,
-		ScaleFactor: *scaleFactor,
-		Cores:       *cores,
-		Seed:        *seed,
-		Workers:     *workers,
-		Checkpoint:  *checkpoint,
-		Resume:      *resume,
-		JobTimeout:  *jobTimeout,
-		Context:     ctx,
+		Scale:        *scale,
+		ScaleFactor:  *scaleFactor,
+		Cores:        *cores,
+		Seed:         *seed,
+		Workers:      *workers,
+		Checkpoint:   *checkpoint,
+		Resume:       *resume,
+		Retries:      *retries,
+		RetryBackoff: *retryWait,
+		Fsync:        *fsync,
+		Tolerate:     *tolerate,
+		JobTimeout:   *jobTimeout,
+		Context:      ctx,
 	}
 	if *obsSnap != "" {
 		opts.Obs = gmap.NewObsRegistry()

@@ -36,7 +36,7 @@ func main() {
 	profile, err := gmap.ReadProfile(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("%s: %w", *profilePath, err))
 	}
 	proxy, err := gmap.Generate(profile, gmap.GenerateOptions{
 		Seed:           *seed,

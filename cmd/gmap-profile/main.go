@@ -73,10 +73,18 @@ func loadTrace(workload string, scale int, in, format string) (*gmap.KernelTrace
 			return nil, err
 		}
 		defer f.Close()
+		var tr *gmap.KernelTrace
 		if format == "text" {
-			return trace.ReadText(f)
+			tr, err = trace.ReadText(f)
+		} else {
+			tr, err = gmap.ReadTrace(f)
 		}
-		return gmap.ReadTrace(f)
+		if err != nil {
+			// FormatError positions (byte offset / line) surface here with
+			// the file they refer to.
+			return nil, fmt.Errorf("%s: %w", in, err)
+		}
+		return tr, nil
 	default:
 		return nil, fmt.Errorf("one of -workload or -in is required")
 	}

@@ -57,6 +57,8 @@ func main() {
 		busBytes = flag.Int("dram-bus", 8, "DRAM bus width in bytes")
 		mapping  = flag.String("dram-mapping", "RoBaRaCoCh", "DRAM address mapping: RoBaRaCoCh or ChRaBaRoCo")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+		retries  = flag.Int("retries", 0, "re-run the simulation up to N times if it fails with a transient error")
+		retryBck = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
 		obsOut   = flag.String("obs-out", "", "stream cycle-sampled observability series to this JSONL file (- for stdout)")
 		obsSnap  = flag.String("obs-snapshot", "", "dump the full observability registry as JSON to this file (- for stdout)")
 	)
@@ -117,7 +119,7 @@ func main() {
 		cfg.Obs = gmap.NewObsRegistry()
 	}
 
-	metrics, name, err := runSim(*workload, *scale, *in, *proxyIn, cfg, *timeout)
+	metrics, name, err := runSim(*workload, *scale, *in, *proxyIn, cfg, *timeout, *retries, *retryBck)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,7 +154,7 @@ func main() {
 // runSim executes the simulation as a job on the experiment engine: a
 // -timeout overrun or a panic in a pathological configuration surfaces
 // as an ordinary error, and Ctrl-C cancels cleanly.
-func runSim(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig, timeout time.Duration) (gmap.Metrics, string, error) {
+func runSim(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig, timeout time.Duration, retries int, retryBackoff time.Duration) (gmap.Metrics, string, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	type simOut struct {
@@ -166,7 +168,9 @@ func runSim(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig, 
 			return simOut{Metrics: m, Name: name}, err
 		},
 	}
-	results, _, err := runner.Run(ctx, runner.Options{Workers: 1, Timeout: timeout}, []runner.Job[simOut]{job})
+	results, _, err := runner.Run(ctx,
+		runner.Options{Workers: 1, Timeout: timeout, Retries: retries, RetryBackoff: retryBackoff},
+		[]runner.Job[simOut]{job})
 	if err != nil {
 		return gmap.Metrics{}, "", err
 	}
@@ -200,7 +204,7 @@ func run(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig) (gm
 		defer f.Close()
 		tr, err := gmap.ReadTrace(f)
 		if err != nil {
-			return gmap.Metrics{}, "", err
+			return gmap.Metrics{}, "", fmt.Errorf("%s: %w", in, err)
 		}
 		m, err := gmap.SimulateTrace(tr, cfg)
 		return m, tr.Name, err
@@ -212,7 +216,7 @@ func run(workload string, scale int, in, proxyIn string, cfg gmap.SimConfig) (gm
 		defer f.Close()
 		proxy, err := gmap.ReadProxy(f)
 		if err != nil {
-			return gmap.Metrics{}, "", err
+			return gmap.Metrics{}, "", fmt.Errorf("%s: %w", proxyIn, err)
 		}
 		m, err := gmap.SimulateProxy(proxy, cfg)
 		return m, proxy.Name + " (proxy)", err

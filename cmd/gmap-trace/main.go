@@ -43,7 +43,7 @@ func main() {
 		defer f.Close()
 		tr, err := gmap.ReadTrace(f)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%s: %w", *summary, err))
 		}
 		warps := gmap.Coalesce(tr, *lineSize)
 		printSummary(tr.Name, trace.Summarize(warps, *lineSize))
@@ -55,7 +55,7 @@ func main() {
 		defer f.Close()
 		proxy, err := gmap.ReadProxy(f)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%s: %w", *summaryProxy, err))
 		}
 		printSummary(proxy.Name+" (proxy)", trace.Summarize(proxy.Warps, *lineSize))
 	case *workload != "":

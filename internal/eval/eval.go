@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/uteda/gmap/internal/core"
+	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/memsim"
 	"github.com/uteda/gmap/internal/obs"
 	"github.com/uteda/gmap/internal/profiler"
@@ -43,8 +44,30 @@ type Options struct {
 	// benchmark, configuration, seed, scale, scale factor, cores).
 	Checkpoint string
 	// Resume skips simulation points already recorded in Checkpoint, so
-	// an interrupted run picks up where it stopped.
+	// an interrupted run picks up where it stopped. A torn trailing
+	// checkpoint line is salvaged and truncated (see runner).
 	Resume bool
+	// Retries re-executes simulation points that fail with a
+	// transient-classified error (fault.IsTransient) up to this many
+	// times; RetryBackoff is the base delay between attempts, doubled
+	// per retry with deterministic jitter.
+	Retries      int
+	RetryBackoff time.Duration
+	// Fsync syncs the checkpoint file after every append, hardening it
+	// against machine crashes rather than just process kills.
+	Fsync bool
+	// Tolerate downgrades per-benchmark sweep failures from fatal to
+	// skip-and-report: benchmarks with failed points are dropped from the
+	// figure (logged via Progress) and the remaining rows are kept.
+	// Fig8 ignores it — its per-factor averages span benchmarks, so a
+	// dropped benchmark would silently skew every factor's accuracy.
+	Tolerate bool
+	// FS routes checkpoint I/O; nil selects the real filesystem (crash
+	// tests substitute a fault injector).
+	FS fault.FS
+	// Inject, when non-nil, is a seeded schedule of artificial transient
+	// point failures (testing and the nightly fault soak only).
+	Inject *fault.Schedule
 	// Context, when non-nil, cancels an in-flight evaluation (e.g. on
 	// SIGINT); completed points remain in the checkpoint.
 	Context context.Context
@@ -147,11 +170,16 @@ func (o *Options) jobKey(experiment, benchmark string, parts ...string) string {
 func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runner.Result[R], runner.Stats, error) {
 	lastDecile := -1
 	ropts := runner.Options{
-		Workers:    o.Workers,
-		Timeout:    o.JobTimeout,
-		Checkpoint: o.Checkpoint,
-		Resume:     o.Resume,
-		Obs:        o.Obs,
+		Workers:      o.Workers,
+		Timeout:      o.JobTimeout,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
+		Checkpoint:   o.Checkpoint,
+		Resume:       o.Resume,
+		Fsync:        o.Fsync,
+		FS:           o.FS,
+		Inject:       o.Inject,
+		Obs:          o.Obs,
 		OnEvent: func(e runner.Event) {
 			if e.Kind == runner.JobFailed {
 				o.logf("%s job %s failed: %v", experiment, e.Key, e.Err)
@@ -188,6 +216,18 @@ func collectErrors[R any](experiment string, results []runner.Result[R]) error {
 		return nil
 	}
 	return fmt.Errorf("eval %s: %d/%d jobs failed; first: %w", experiment, n, len(results), first)
+}
+
+// benchFailure returns the first failure among benchmark bi's points in
+// a benchmark-major result layout (results[bi*per+gi]), or nil if all
+// its points succeeded.
+func benchFailure[R any](results []runner.Result[R], bi, per int) error {
+	for gi := 0; gi < per; gi++ {
+		if err := results[bi*per+gi].Err; err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // prepare builds the workload pipeline for one benchmark.
@@ -374,10 +414,16 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 	if err != nil {
 		return nil, fmt.Errorf("eval %s: %w", id, err)
 	}
-	if err := collectErrors(id, results); err != nil {
+	if err := collectErrors(id, results); err != nil && !o.Tolerate {
 		return nil, err
 	}
 	for bi, name := range o.Benchmarks {
+		if ferr := benchFailure(results, bi, len(gens)); ferr != nil {
+			// Only reachable with Tolerate: drop the benchmark's row
+			// rather than fold failed (zero) points into its error stats.
+			o.logf("%s %-12s skipped: %v", id, name, ferr)
+			continue
+		}
 		orig := make([]float64, 0, len(gens))
 		prox := make([]float64, 0, len(gens))
 		for i := 0; i < len(gens); i++ {
@@ -394,6 +440,9 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 		fig.Rows = append(fig.Rows, row)
 		o.logf("%s %-12s error %6.2f%s corr %.3f (%d pts)",
 			id, name, row.Error, errUnit(asRate), row.Correlation, row.Points)
+	}
+	if len(fig.Rows) == 0 {
+		return nil, fmt.Errorf("eval %s: every benchmark failed", id)
 	}
 	fig.finalize()
 	fig.Elapsed = time.Since(start)

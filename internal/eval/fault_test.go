@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/uteda/gmap/internal/fault"
+)
+
+// faultSeed returns the schedule seed for the fault-injection sweeps;
+// GMAP_FAULT_SEED lets the nightly soak rotate schedules and replay a
+// failing one.
+func faultSeed(t *testing.T) uint64 {
+	if v := os.Getenv("GMAP_FAULT_SEED"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad GMAP_FAULT_SEED %q: %v", v, err)
+		}
+		return s
+	}
+	return 11
+}
+
+// TestFaultInjectedSweepMatchesFaultFree is the end-to-end invariance
+// acceptance check: a figure sweep peppered with seeded transient
+// failures, retried within budget, renders byte-identical to a
+// fault-free sweep.
+func TestFaultInjectedSweepMatchesFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double full sweep; runs in the nightly fault-injection soak")
+	}
+	fresh := quickOpts()
+	ref, err := fresh.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seed := faultSeed(t)
+	faulty := quickOpts()
+	faulty.Workers = 4
+	faulty.Inject = &fault.Schedule{Seed: seed, FailProb: 0.4, MaxFailures: 2}
+	faulty.Retries = 2
+	fig, err := faulty.Fig6a()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	st := faulty.ExecStats()
+	if st.Failed != 0 {
+		t.Fatalf("seed %d: %d jobs failed despite full retry budget", seed, st.Failed)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("degenerate schedule (seed %d): no failures injected", seed)
+	}
+	if got, want := renderFig(t, fig), renderFig(t, ref); got != want {
+		t.Errorf("seed %d: fault-injected figure differs from fault-free run:\ninjected:\n%s\nfresh:\n%s",
+			seed, got, want)
+	}
+}
+
+// TestInjectedFaultsExhaustRetryBudget: with more injected failures than
+// retries the sweep fails loudly, naming the experiment and failure
+// counts — never a silently truncated figure.
+func TestInjectedFaultsExhaustRetryBudget(t *testing.T) {
+	opts := quickOpts()
+	opts.Inject = &fault.Schedule{Seed: 3, FailProb: 1, MaxFailures: 2}
+	opts.Retries = 0
+	_, err := opts.Fig6a()
+	if err == nil {
+		t.Fatal("sweep with unretried injected faults reported success")
+	}
+	if !strings.Contains(err.Error(), "fig6a") || !strings.Contains(err.Error(), "jobs failed") {
+		t.Fatalf("error = %v, want experiment id and failure count", err)
+	}
+}
+
+// TestTolerateSkipsFailingBenchmark: with Tolerate set, a benchmark
+// whose points all fail is dropped with a log line and the figure is
+// built from the survivors; without it the sweep fails.
+func TestTolerateSkipsFailingBenchmark(t *testing.T) {
+	strict := quickOpts()
+	strict.Benchmarks = []string{"nn", "no-such-benchmark"}
+	if _, err := strict.Fig6a(); err == nil {
+		t.Fatal("sweep with an unknown benchmark reported success")
+	}
+
+	var logs []string
+	tol := quickOpts()
+	tol.Benchmarks = []string{"nn", "no-such-benchmark"}
+	tol.Tolerate = true
+	tol.Progress = func(format string, args ...interface{}) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	fig, err := tol.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 1 || fig.Rows[0].Benchmark != "nn" {
+		t.Fatalf("rows = %+v, want nn only", fig.Rows)
+	}
+	var skipped bool
+	for _, l := range logs {
+		if strings.Contains(l, "no-such-benchmark") && strings.Contains(l, "skipped") {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Errorf("no skip report logged; logs:\n%s", strings.Join(logs, "\n"))
+	}
+
+	// When every benchmark fails, Tolerate still cannot fabricate a
+	// figure out of nothing.
+	empty := quickOpts()
+	empty.Benchmarks = []string{"no-such-benchmark"}
+	empty.Tolerate = true
+	if _, err := empty.Fig6a(); err == nil || !strings.Contains(err.Error(), "every benchmark failed") {
+		t.Fatalf("all-failed tolerate error = %v", err)
+	}
+}

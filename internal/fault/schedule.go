@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/uteda/gmap/internal/rng"
+)
+
+// Schedule is a seeded, deterministic per-job transient-failure schedule:
+// given a job key it decides, as a pure function of (Seed, key), how many
+// leading attempts of that job fail with a Transient-classified error.
+// Because the failure count is bounded by MaxFailures, a runner retrying
+// at least MaxFailures times always converges to the fault-free result —
+// the property the retry-invariance tests assert.
+type Schedule struct {
+	// Seed drives the per-key hash; two schedules with equal fields
+	// produce identical failure patterns.
+	Seed uint64
+	// FailProb is the fraction of jobs that fail at least once, in [0,1].
+	FailProb float64
+	// MaxFailures bounds the leading failed attempts of any one job;
+	// values < 1 are treated as 1.
+	MaxFailures int
+}
+
+// Failures returns how many leading attempts of the job with this key
+// fail under the schedule (0 = the job never fails).
+func (s *Schedule) Failures(key string) int {
+	if s == nil || s.FailProb <= 0 {
+		return 0
+	}
+	h := rng.Mix64(s.Seed)
+	for _, b := range []byte(key) {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	// First hash word decides whether the job is flaky at all; a second
+	// mix picks the failure count so the two choices are independent.
+	if float64(h>>11)/float64(1<<53) >= s.FailProb {
+		return 0
+	}
+	maxf := s.MaxFailures
+	if maxf < 1 {
+		maxf = 1
+	}
+	return 1 + int(rng.Mix64(h)%uint64(maxf))
+}
+
+// Check returns the injected error for the given 1-based attempt of the
+// job with this key: a Transient-classified error while attempt is at or
+// below the job's scheduled failure count, nil afterwards.
+func (s *Schedule) Check(key string, attempt int) error {
+	if s == nil {
+		return nil
+	}
+	if f := s.Failures(key); attempt <= f {
+		return Transient(fmt.Errorf("fault: injected failure %d/%d for job %q", attempt, f, key))
+	}
+	return nil
+}

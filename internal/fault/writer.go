@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"io"
+	"sort"
+)
+
+// opKind enumerates the injectable write faults.
+type opKind int
+
+const (
+	opShort opKind = iota // cut the write at the offset, return io.ErrShortWrite
+	opErr                 // cut the write at the offset, return the attached error
+	opCrash               // cut the write at the offset, fail this and every later op
+)
+
+// writeOp is one scheduled fault, keyed by the absolute byte offset of
+// the output stream it triggers at.
+type writeOp struct {
+	at   int64
+	kind opKind
+	err  error
+}
+
+// WritePlan is a deterministic schedule of write faults over one output
+// stream, keyed by absolute byte offset. A plan is consumed as the
+// wrapped writer advances: a fault scheduled at offset k tears the write
+// that would cross byte k, so "torn final line" scenarios are expressed
+// as a crash point in the middle of a line's byte range.
+//
+// Plans are not safe for concurrent use; wrap one stream per plan.
+type WritePlan struct {
+	ops     []writeOp
+	off     int64
+	crashed bool
+}
+
+// NewWritePlan returns an empty plan (no faults).
+func NewWritePlan() *WritePlan { return &WritePlan{} }
+
+// ShortWriteAt schedules a short write: the write crossing byte offset at
+// is cut there and reports io.ErrShortWrite.
+func (p *WritePlan) ShortWriteAt(at int64) *WritePlan { return p.add(at, opShort, nil) }
+
+// ErrorAt schedules err (e.g. ErrInjectedENOSPC, ErrInjectedEIO) on the
+// write crossing byte offset at; bytes before the offset are written.
+func (p *WritePlan) ErrorAt(at int64, err error) *WritePlan { return p.add(at, opErr, err) }
+
+// CrashAt schedules a crash point: the write crossing byte offset at is
+// torn there, and this plus every subsequent operation fails with
+// ErrCrash — the on-stream state is exactly what a SIGKILL at that byte
+// would leave behind.
+func (p *WritePlan) CrashAt(at int64) *WritePlan { return p.add(at, opCrash, nil) }
+
+func (p *WritePlan) add(at int64, kind opKind, err error) *WritePlan {
+	p.ops = append(p.ops, writeOp{at: at, kind: kind, err: err})
+	sort.SliceStable(p.ops, func(i, j int) bool { return p.ops[i].at < p.ops[j].at })
+	return p
+}
+
+// Crashed reports whether a crash point has been reached.
+func (p *WritePlan) Crashed() bool { return p.crashed }
+
+// Offset returns the number of bytes successfully written through the
+// plan so far.
+func (p *WritePlan) Offset() int64 { return p.off }
+
+// apply routes one Write through the plan: it writes the fault-free
+// prefix to w, consumes at most one triggered op, and returns the byte
+// count actually written plus the injected error (nil when no op
+// triggered in this write's range).
+func (p *WritePlan) apply(w io.Writer, b []byte) (int, error) {
+	if p.crashed {
+		return 0, ErrCrash
+	}
+	end := p.off + int64(len(b))
+	for i, op := range p.ops {
+		if op.at < p.off {
+			continue // already passed (scheduled behind the stream head)
+		}
+		if op.at >= end {
+			break // sorted: nothing triggers in this write
+		}
+		keep := int(op.at - p.off)
+		n, werr := w.Write(b[:keep])
+		p.off += int64(n)
+		if werr != nil {
+			return n, werr
+		}
+		p.ops = append(p.ops[:i], p.ops[i+1:]...)
+		switch op.kind {
+		case opShort:
+			return n, io.ErrShortWrite
+		case opCrash:
+			p.crashed = true
+			return n, ErrCrash
+		default:
+			return n, op.err
+		}
+	}
+	n, err := w.Write(b)
+	p.off += int64(n)
+	return n, err
+}
+
+// Writer wraps w with a fault plan. A nil plan passes writes through
+// untouched.
+type Writer struct {
+	w    io.Writer
+	plan *WritePlan
+}
+
+// NewWriter returns a fault-injecting writer over w.
+func NewWriter(w io.Writer, plan *WritePlan) *Writer { return &Writer{w: w, plan: plan} }
+
+// Write implements io.Writer, applying the plan's scheduled faults.
+func (fw *Writer) Write(b []byte) (int, error) {
+	if fw.plan == nil {
+		return fw.w.Write(b)
+	}
+	return fw.plan.apply(fw.w, b)
+}

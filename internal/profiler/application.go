@@ -35,6 +35,10 @@ func (a *AppProfile) Validate() error {
 		}
 	}
 	for i, k := range a.Kernels {
+		if k == nil {
+			// JSON "null" in the kernels array decodes to a nil pointer.
+			return fmt.Errorf("profiler: app profile %q kernel %d is null", a.Name, i)
+		}
 		if err := k.Validate(); err != nil {
 			return fmt.Errorf("profiler: app profile %q kernel %d: %w", a.Name, i, err)
 		}
@@ -117,7 +121,7 @@ func (a *AppProfile) WriteJSON(w io.Writer) error {
 func ReadAppJSON(r io.Reader) (*AppProfile, error) {
 	var a AppProfile
 	if err := json.NewDecoder(r).Decode(&a); err != nil {
-		return nil, fmt.Errorf("profiler: decoding app profile: %w", err)
+		return nil, decodeJSONError("app profile", err)
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err

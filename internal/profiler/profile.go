@@ -15,13 +15,30 @@ package profiler
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/trace"
 )
+
+// decodeJSONError rewrites a json decode failure to carry the byte
+// offset where the input broke, so a corrupt profile file points at the
+// damage instead of only naming the Go type that failed to fit.
+func decodeJSONError(what string, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("profiler: decoding %s: offset %d: %w", what, syn.Offset, err)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Errorf("profiler: decoding %s: offset %d (field %q): %w", what, typ.Offset, typ.Field, err)
+	}
+	return fmt.Errorf("profiler: decoding %s: %w", what, err)
+}
 
 // StaticInst is the per-static-instruction component of the profile: the
 // instruction identity, its base address b(k), and its two code-localized
@@ -142,7 +159,10 @@ func (p *Profile) Q(i int) float64 {
 	return float64(p.Profiles[i].Count) / float64(total)
 }
 
-// Validate checks structural consistency of the profile.
+// Validate checks structural consistency of the profile, including that
+// every probability-valued field is a real number in [0, 1] — a corrupt
+// or hand-edited profile JSON must fail here, not surface as NaN
+// addresses deep inside the generator.
 func (p *Profile) Validate() error {
 	if p.GridDim <= 0 || p.BlockDim <= 0 {
 		return fmt.Errorf("profiler: profile %q has degenerate geometry %dx%d", p.Name, p.GridDim, p.BlockDim)
@@ -150,12 +170,30 @@ func (p *Profile) Validate() error {
 	if p.LineSize == 0 || p.LineSize&(p.LineSize-1) != 0 {
 		return fmt.Errorf("profiler: profile %q line size %d not a power of two", p.Name, p.LineSize)
 	}
+	if p.Warps < 0 {
+		return fmt.Errorf("profiler: profile %q has negative warp count %d", p.Name, p.Warps)
+	}
+	if math.IsNaN(p.SchedPself) || p.SchedPself < 0 || p.SchedPself > 1 {
+		return fmt.Errorf("profiler: profile %q sched_p_self %v is not a probability", p.Name, p.SchedPself)
+	}
 	if len(p.Insts) == 0 {
 		return fmt.Errorf("profiler: profile %q has no instructions", p.Name)
+	}
+	for i := range p.Insts {
+		inst := &p.Insts[i]
+		if inst.OffLo > inst.OffHi {
+			return fmt.Errorf("profiler: profile %q: inst %d (pc %#x) offset window [%d, %d] inverted",
+				p.Name, i, inst.PC, inst.OffLo, inst.OffHi)
+		}
+		if inst.AnchorLo > inst.AnchorHi {
+			return fmt.Errorf("profiler: profile %q: inst %d (pc %#x) anchor window [%d, %d] inverted",
+				p.Name, i, inst.PC, inst.AnchorLo, inst.AnchorHi)
+		}
 	}
 	if len(p.Profiles) == 0 {
 		return fmt.Errorf("profiler: profile %q has no π profiles", p.Name)
 	}
+	var piTotal uint64
 	for i, pp := range p.Profiles {
 		if len(pp.Seq) == 0 {
 			return fmt.Errorf("profiler: profile %q: π[%d] empty", p.Name, i)
@@ -165,6 +203,10 @@ func (p *Profile) Validate() error {
 				return fmt.Errorf("profiler: profile %q: π[%d] references instruction %d of %d", p.Name, i, idx, len(p.Insts))
 			}
 		}
+		piTotal += pp.Count
+	}
+	if piTotal == 0 {
+		return fmt.Errorf("profiler: profile %q: all π weights are zero, Q is undefined", p.Name)
 	}
 	return nil
 }
@@ -180,7 +222,7 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 func ReadJSON(r io.Reader) (*Profile, error) {
 	var p Profile
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("profiler: decoding profile: %w", err)
+		return nil, decodeJSONError("profile", err)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -25,6 +25,12 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"name":"x","grid_dim":-1}`))
 	f.Add([]byte(`not json`))
+	// Probability and window corruption: each must be rejected by
+	// Validate, not propagate into the generator.
+	f.Add([]byte(`{"name":"x","grid_dim":1,"block_dim":32,"line_size":128,"sched_p_self":1.5}`))
+	f.Add([]byte(`{"name":"x","grid_dim":1,"block_dim":32,"line_size":128,"sched_p_self":-0.1}`))
+	f.Add([]byte(`{"name":"x","grid_dim":1,"block_dim":32,"line_size":128,"insts":[{"pc":1,"off_lo":5,"off_hi":-5}]}`))
+	f.Add([]byte(`{"name":"x","grid_dim":1,"block_dim":32,"line_size":128,"warps":-1}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := profiler.ReadJSON(bytes.NewReader(data))

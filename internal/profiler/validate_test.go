@@ -1,0 +1,74 @@
+package profiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/uteda/gmap/internal/stats"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// validProfile builds a minimal profile that passes Validate, for the
+// corruption table below to mutate.
+func validProfile() *Profile {
+	h := stats.NewHistogram()
+	h.Add(0)
+	return &Profile{
+		Name:     "v",
+		GridDim:  1,
+		BlockDim: 32,
+		LineSize: 128,
+		Warps:    1,
+		Insts: []StaticInst{{
+			PC: 0x10, Kind: trace.Load, InterStride: h, IntraStride: h, Count: 1,
+		}},
+		Profiles: []PiProfile{{Seq: []int{0}, Count: 1, Reuse: h}},
+	}
+}
+
+func TestValidateRejectsCorruptProbabilities(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("baseline profile invalid: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantSub string
+	}{
+		{"pself above one", func(p *Profile) { p.SchedPself = 1.5 }, "not a probability"},
+		{"pself negative", func(p *Profile) { p.SchedPself = -0.25 }, "not a probability"},
+		{"pself nan", func(p *Profile) { p.SchedPself = math.NaN() }, "not a probability"},
+		{"negative warps", func(p *Profile) { p.Warps = -3 }, "negative warp count"},
+		{"inverted offset window", func(p *Profile) { p.Insts[0].OffLo, p.Insts[0].OffHi = 8, -8 }, "offset window"},
+		{"inverted anchor window", func(p *Profile) { p.Insts[0].AnchorLo, p.Insts[0].AnchorHi = 8, -8 }, "anchor window"},
+		{"all-zero pi weights", func(p *Profile) { p.Profiles[0].Count = 0 }, "π weights"},
+	}
+	for _, c := range cases {
+		p := validProfile()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: corrupt profile accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestReadAppJSONRejectsNullKernel(t *testing.T) {
+	in := `{"name":"a","kernels":[null],"launches":[0]}`
+	if _, err := ReadAppJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "null") {
+		t.Fatalf("null kernel: err = %v", err)
+	}
+}
+
+func TestReadJSONReportsOffset(t *testing.T) {
+	in := `{"name":"x","grid_dim":"oops"}`
+	_, err := ReadJSON(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("type error lost its position: err = %v", err)
+	}
+}

@@ -2,11 +2,15 @@ package runner
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"io/fs"
-	"os"
 	"time"
+
+	"github.com/uteda/gmap/internal/fault"
 )
 
 // A checkpoint file is JSON Lines: one entry per successfully executed
@@ -15,54 +19,227 @@ import (
 // hashes (see JobKey), so a resumed run with identical parameters maps
 // its jobs onto recorded results; a run with different parameters hashes
 // to different keys and shares nothing.
+//
+// Recovery contract (DESIGN.md §9): only the final line of a checkpoint
+// can be torn — every earlier line was newline-terminated and flushed
+// before the next began. Resume salvages the longest valid prefix and
+// truncates the torn tail, so appends never glue new entries onto
+// leftover garbage. Compaction rewrites the file through a temp file and
+// an atomic rename: a crash mid-compaction leaves the original intact.
 type checkpointEntry struct {
 	Key       string          `json:"key"`
 	Value     json.RawMessage `json:"value"`
 	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
 }
 
-// LoadCheckpoint reads the checkpoint at path and returns recorded
-// values by job key. A missing file yields an empty map. Lines that do
-// not parse — typically the torn final write of a killed run — are
-// skipped; later entries for the same key win.
-func LoadCheckpoint(path string) (map[string]json.RawMessage, error) {
-	f, err := os.Open(path)
+// Salvage reports what checkpoint recovery found and did.
+type Salvage struct {
+	// Entries is the number of distinct keys with a valid recorded value.
+	Entries int
+	// Lines is the total count of valid entry lines (re-recorded keys
+	// count once per line; Lines > Entries measures compactable waste).
+	Lines int
+	// BadLines counts newline-terminated lines that did not parse —
+	// mid-file corruption, never produced by a clean kill.
+	BadLines int
+	// TornBytes is the length of the unparsable tail after the last valid
+	// line: the signature of a kill mid-flush.
+	TornBytes int64
+	// Truncated reports whether the torn tail was cut from the file.
+	Truncated bool
+	// Compacted reports whether the file was rewritten to one line per
+	// key.
+	Compacted bool
+}
+
+// ckptScan is the parsed state of a checkpoint file.
+type ckptScan struct {
+	entries map[string]checkpointEntry
+	order   []string // keys in first-appearance order (stable compaction)
+	salvage Salvage
+	endOff  int64 // offset just past the last valid line
+	size    int64 // total bytes scanned
+}
+
+// scanCheckpoint reads and classifies every line of the checkpoint at
+// path. A missing file yields an empty scan. Later entries for the same
+// key win.
+func scanCheckpoint(fsys fault.FS, path string) (*ckptScan, error) {
+	sc := &ckptScan{entries: make(map[string]checkpointEntry)}
+	f, err := fsys.Open(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return map[string]json.RawMessage{}, nil
+			return sc, nil
 		}
 		return nil, err
 	}
 	defer f.Close()
-	m := make(map[string]json.RawMessage)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<24)
-	for sc.Scan() {
-		var e checkpointEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
-			continue
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		n := len(line)
+		if n > 0 && line[n-1] == '\n' {
+			trimmed := bytes.TrimSpace(line)
+			var e checkpointEntry
+			if len(trimmed) > 0 {
+				if json.Unmarshal(trimmed, &e) == nil && e.Key != "" {
+					if _, seen := sc.entries[e.Key]; !seen {
+						sc.order = append(sc.order, e.Key)
+					}
+					sc.entries[e.Key] = e
+					sc.salvage.Lines++
+					sc.endOff = sc.size + int64(n)
+				} else {
+					sc.salvage.BadLines++
+				}
+			} else {
+				// A blank line is valid padding, not corruption; keep it
+				// inside the salvaged prefix.
+				sc.endOff = sc.size + int64(n)
+			}
 		}
-		m[e.Key] = e.Value
+		sc.size += int64(n)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	sc.salvage.Entries = len(sc.entries)
+	sc.salvage.TornBytes = sc.size - sc.endOff
+	return sc, nil
 }
 
-// checkpointWriter appends entries to a checkpoint file, flushing each
-// line so progress survives an abrupt kill.
-type checkpointWriter struct {
-	f  *os.File
-	bw *bufio.Writer
+// values extracts the recorded raw values by key.
+func (sc *ckptScan) values() map[string]json.RawMessage {
+	m := make(map[string]json.RawMessage, len(sc.entries))
+	for k, e := range sc.entries {
+		m[k] = e.Value
+	}
+	return m
 }
 
-func openCheckpoint(path string) (*checkpointWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// LoadCheckpoint reads the checkpoint at path and returns recorded
+// values by job key. A missing file yields an empty map. Lines that do
+// not parse — typically the torn final write of a killed run — are
+// skipped; later entries for the same key win. The file is not modified;
+// use SalvageCheckpoint to also truncate a torn tail before appending.
+func LoadCheckpoint(path string) (map[string]json.RawMessage, error) {
+	sc, err := scanCheckpoint(fault.OS, path)
 	if err != nil {
 		return nil, err
 	}
-	return &checkpointWriter{f: f, bw: bufio.NewWriter(f)}, nil
+	return sc.values(), nil
+}
+
+// SalvageCheckpoint loads the checkpoint at path and makes it safe to
+// append to again: a torn trailing write (the signature of a SIGKILL
+// mid-flush) is cut from the file so the next appended line cannot glue
+// onto leftover garbage and be lost on a later resume. fsys nil selects
+// the real filesystem.
+func SalvageCheckpoint(fsys fault.FS, path string) (map[string]json.RawMessage, Salvage, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	sc, err := scanCheckpoint(fsys, path)
+	if err != nil {
+		return nil, Salvage{}, err
+	}
+	if sc.salvage.TornBytes > 0 {
+		if err := fsys.Truncate(path, sc.endOff); err != nil {
+			return nil, sc.salvage, fmt.Errorf("runner: truncating torn checkpoint tail of %s: %w", path, err)
+		}
+		sc.salvage.Truncated = true
+	}
+	return sc.values(), sc.salvage, nil
+}
+
+// compactWasteThreshold gates automatic compaction on resume: rewrite
+// only when the file holds at least this many lines and more than twice
+// as many lines as distinct keys — i.e. when re-recorded entries, not the
+// live ones, dominate the file.
+const compactWasteThreshold = 64
+
+// CompactCheckpoint rewrites the checkpoint at path to exactly one line
+// per key (the latest recorded value, keys in first-appearance order),
+// through a temp file, an fsync and an atomic rename — a crash at any
+// byte of the rewrite leaves the original file intact. fsys nil selects
+// the real filesystem.
+func CompactCheckpoint(fsys fault.FS, path string) (Salvage, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	sc, err := scanCheckpoint(fsys, path)
+	if err != nil {
+		return Salvage{}, err
+	}
+	if err := compactScan(fsys, path, sc); err != nil {
+		return sc.salvage, err
+	}
+	sc.salvage.Compacted = true
+	return sc.salvage, nil
+}
+
+func compactScan(fsys fault.FS, path string, sc *ckptScan) error {
+	tmp := path + ".compact.tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("runner: compacting checkpoint %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	writeErr := func() error {
+		for _, key := range sc.order {
+			line, err := json.Marshal(sc.entries[key])
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(append(line, '\n')); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if writeErr != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp) // best-effort cleanup; the compaction error wins
+		return fmt.Errorf("runner: compacting checkpoint %s: %w", path, writeErr)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("runner: compacting checkpoint %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("runner: compacting checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// checkpointWriter appends entries to a checkpoint file, flushing each
+// line so progress survives an abrupt kill. With fsync enabled every
+// append is also synced to stable storage, extending the guarantee from
+// process death to power loss. All error paths propagate: a checkpoint
+// that cannot record progress fails the run loudly instead of silently
+// losing entries.
+type checkpointWriter struct {
+	f     fault.File
+	bw    *bufio.Writer
+	fsync bool
+}
+
+func openCheckpoint(fsys fault.FS, path string, fsync bool) (*checkpointWriter, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointWriter{f: f, bw: bufio.NewWriter(f), fsync: fsync}, nil
 }
 
 func (c *checkpointWriter) append(key string, value any, elapsed time.Duration) error {
@@ -77,7 +254,13 @@ func (c *checkpointWriter) append(key string, value any, elapsed time.Duration) 
 	if _, err := c.bw.Write(append(line, '\n')); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if c.fsync {
+		return c.f.Sync()
+	}
+	return nil
 }
 
 func (c *checkpointWriter) close() error {

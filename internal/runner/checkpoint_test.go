@@ -126,7 +126,7 @@ func TestResumeWithChangedValueTypeRecomputes(t *testing.T) {
 	// Record a string-typed value under a key, then resume with int jobs
 	// using the same key: the stale entry must be recomputed, not
 	// force-fit.
-	w, err := openCheckpoint(path)
+	w, err := openCheckpoint(nil, path, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,14 +2,17 @@
 // evaluation harness: a fixed-size worker pool draining a bounded job
 // queue with deterministic result ordering, per-job panic isolation and
 // optional timeouts, context cancellation, JSONL checkpoint/resume keyed
-// by stable job hashes, and an instrumentation hook reporting progress
-// (jobs/sec, ETA) plus a machine-readable run summary.
+// by stable job hashes, bounded retry of transient job failures, and an
+// instrumentation hook reporting progress (jobs/sec, ETA) plus a
+// machine-readable run summary.
 //
 // Jobs must be independent and deterministic: given the same key they
 // must compute the same value on every run. Under that contract a
 // parallel run is observably identical to a serial one (results come
-// back in submission order), and a checkpointed value recorded by an
-// interrupted run can substitute for re-execution.
+// back in submission order), a checkpointed value recorded by an
+// interrupted run can substitute for re-execution, and a retried
+// transient failure converges to the same value a fault-free run would
+// have produced.
 package runner
 
 import (
@@ -20,35 +23,69 @@ import (
 	"sync"
 	"time"
 
+	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/rng"
 )
 
 // Options configures one Run.
 type Options struct {
 	// Workers is the worker-pool size; <= 0 selects runtime.NumCPU().
 	Workers int
-	// Timeout bounds each job's execution; 0 means no per-job limit. A
-	// timed-out job records a deadline error but cannot be preempted
-	// mid-computation: its goroutine is abandoned and the worker slot
-	// moves on.
+	// Timeout bounds each job attempt's execution; 0 means no per-job
+	// limit. A timed-out job records a deadline error but cannot be
+	// preempted mid-computation: its goroutine is abandoned and the
+	// worker slot moves on. Timeouts are not retried — a deterministic
+	// job that overran its deadline once will overrun it again.
 	Timeout time.Duration
+	// Retries is how many times a job whose error classifies as
+	// transient (fault.IsTransient) is re-executed before its failure is
+	// recorded; 0 disables retry. Fatal errors are never retried.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it, plus a deterministic per-(key, attempt)
+	// jitter of up to half the base. <= 0 retries immediately.
+	RetryBackoff time.Duration
 	// Checkpoint, when non-empty, names a JSONL file successful job
-	// results are streamed to as they complete, keyed by Job.Key.
+	// results are streamed to as they complete, keyed by Job.Key. A
+	// checkpoint append that fails aborts the run: progress that cannot
+	// be recorded must not be silently recomputed-from-zero later.
 	Checkpoint string
 	// Resume loads Checkpoint before running and skips jobs whose key
 	// already has a recorded value (failed jobs are never recorded, so
-	// they re-run). Corrupt or truncated trailing lines — the signature
-	// of a killed run — are ignored.
+	// they re-run). A torn trailing line — the signature of a killed
+	// run — is salvaged around and truncated from the file before
+	// appending; checkpoints dominated by re-recorded keys are compacted
+	// through an atomic rename.
 	Resume bool
+	// Fsync, when set, syncs the checkpoint file after every append,
+	// extending the durability guarantee from process death to machine
+	// crash at the cost of one fsync per job.
+	Fsync bool
+	// FS routes all checkpoint I/O; nil selects the real filesystem.
+	// Tests substitute a fault.InjectFS to exercise crash consistency.
+	FS fault.FS
+	// Inject, when non-nil, is a seeded schedule of artificial transient
+	// job failures checked before each attempt (testing and soak only).
+	Inject *fault.Schedule
 	// OnEvent, when non-nil, receives one Event per finished job (done,
 	// failed, or skipped). Events are delivered serially.
 	OnEvent func(Event)
 	// Obs, when non-nil, records execution instrumentation: per-job wall
 	// time ("runner.job_ns"), checkpoint-append latency
-	// ("runner.checkpoint_append_ns"), job outcome counters and the pool
-	// size ("runner.workers"). Purely observational: results, ordering
-	// and checkpoints are identical with or without it.
+	// ("runner.checkpoint_append_ns"), job outcome and retry counters,
+	// checkpoint-salvage counters and the pool size ("runner.workers").
+	// Purely observational: results, ordering and checkpoints are
+	// identical with or without it.
 	Obs *obs.Registry
+}
+
+// fs returns the effective checkpoint filesystem.
+func (o *Options) fs() fault.FS {
+	if o.FS == nil {
+		return fault.OS
+	}
+	return o.FS
 }
 
 // Job is one unit of work. Key is the job's stable identity across
@@ -70,15 +107,19 @@ type Result[R any] struct {
 	// Skipped marks a value restored from the checkpoint rather than
 	// recomputed.
 	Skipped bool
-	// Elapsed is the job's wall-clock execution time (0 when Skipped).
+	// Attempts is how many times the job executed (1 for a first-try
+	// success, 0 when Skipped or never dispatched).
+	Attempts int
+	// Elapsed is the job's total wall-clock execution time across all
+	// attempts, excluding backoff sleeps (0 when Skipped).
 	Elapsed time.Duration
 }
 
 // Run drains jobs through a worker pool and returns one Result per job,
 // in order. Individual job failures are recorded in their Result and do
 // not abort the run; the returned error is non-nil only for
-// infrastructure failures (unusable checkpoint file) or context
-// cancellation, in which case already-computed results are still
+// infrastructure failures (unusable or unwritable checkpoint file) or
+// context cancellation, in which case already-computed results are still
 // returned.
 func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], Stats, error) {
 	if ctx == nil {
@@ -100,17 +141,27 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 	jobsDone := opts.Obs.Counter("runner.jobs_done")
 	jobsFailed := opts.Obs.Counter("runner.jobs_failed")
 	jobsSkipped := opts.Obs.Counter("runner.jobs_skipped")
+	jobRetries := opts.Obs.Counter("runner.job_retries")
 	opts.Obs.Gauge("runner.workers").Set(int64(workers))
 
 	// Restore checkpointed results before dispatching anything so the
-	// pool only sees genuinely pending work.
+	// pool only sees genuinely pending work. Salvage makes the file
+	// append-safe again: a torn tail is truncated so the next entry
+	// cannot glue onto it and be lost on a later resume.
 	var restored map[string]json.RawMessage
 	if opts.Resume && opts.Checkpoint != "" {
-		m, err := LoadCheckpoint(opts.Checkpoint)
+		m, salvage, err := SalvageCheckpoint(opts.fs(), opts.Checkpoint)
 		if err != nil {
 			return results, tr.stats(), err
 		}
 		restored = m
+		recordSalvage(opts.Obs, salvage)
+		if salvage.Lines >= compactWasteThreshold && salvage.Lines > 2*salvage.Entries {
+			if _, err := CompactCheckpoint(opts.fs(), opts.Checkpoint); err != nil {
+				return results, tr.stats(), err
+			}
+			opts.Obs.Counter("runner.checkpoint_compactions").Inc()
+		}
 	}
 	var pending []int
 	for i := range jobs {
@@ -120,7 +171,7 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 				results[i] = Result[R]{Key: jobs[i].Key, Value: v, Skipped: true}
 				done[i] = true
 				jobsSkipped.Inc()
-				tr.finish(JobSkipped, jobs[i].Key, nil, 0)
+				tr.finish(JobSkipped, jobs[i].Key, nil, 0, 0)
 				continue
 			}
 			// Unreadable entry (e.g. the job's result type changed):
@@ -131,48 +182,55 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 
 	var ckpt *checkpointWriter
 	if opts.Checkpoint != "" {
-		w, err := openCheckpoint(opts.Checkpoint)
+		w, err := openCheckpoint(opts.fs(), opts.Checkpoint, opts.Fsync)
 		if err != nil {
 			return results, tr.stats(), err
 		}
 		ckpt = w
-		defer ckpt.close()
 	}
+
+	// A checkpoint append that fails cancels the whole run: continuing
+	// would execute jobs whose results are silently unrecorded.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var ckptErr error // guarded by mu; first append failure wins
 
 	// The queue is bounded by the pool size so a huge sweep never
 	// materializes as channel backlog, and the feeder notices
 	// cancellation promptly.
 	queue := make(chan int, workers)
-	var mu sync.Mutex // serializes tracker events and checkpoint appends
+	var mu sync.Mutex // serializes tracker events, checkpoint appends, ckptErr
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range queue {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					continue // leave the job unexecuted; marked below
 				}
-				res := execute(ctx, opts.Timeout, jobs[idx])
+				res := executeWithRetry(runCtx, opts, jobs[idx])
 				results[idx] = res
 				done[idx] = true
 				jobTime.Observe(uint64(res.Elapsed))
+				if res.Attempts > 1 {
+					jobRetries.Add(uint64(res.Attempts - 1))
+				}
 				mu.Lock()
-				if res.Err == nil && ckpt != nil {
-					if ckptTime != nil {
-						ckptStart := time.Now()
-						ckpt.append(res.Key, res.Value, res.Elapsed)
-						ckptTime.Observe(uint64(time.Since(ckptStart)))
-					} else {
-						ckpt.append(res.Key, res.Value, res.Elapsed)
+				if res.Err == nil && ckpt != nil && ckptErr == nil {
+					ckptStart := time.Now()
+					if err := ckpt.append(res.Key, res.Value, res.Elapsed); err != nil {
+						ckptErr = fmt.Errorf("runner: checkpoint append to %s failed: %w", opts.Checkpoint, err)
+						cancelRun()
 					}
+					ckptTime.Observe(uint64(time.Since(ckptStart)))
 				}
 				if res.Err != nil {
 					jobsFailed.Inc()
-					tr.finish(JobFailed, res.Key, res.Err, res.Elapsed)
+					tr.finish(JobFailed, res.Key, res.Err, res.Elapsed, res.Attempts)
 				} else {
 					jobsDone.Inc()
-					tr.finish(JobDone, res.Key, nil, res.Elapsed)
+					tr.finish(JobDone, res.Key, nil, res.Elapsed, res.Attempts)
 				}
 				mu.Unlock()
 			}
@@ -182,7 +240,7 @@ feed:
 	for _, idx := range pending {
 		select {
 		case queue <- idx:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break feed
 		}
 	}
@@ -190,26 +248,106 @@ feed:
 	wg.Wait()
 
 	var err error
-	if ctx.Err() != nil {
+	if ckpt != nil {
+		if cerr := ckpt.close(); cerr != nil && ckptErr == nil {
+			ckptErr = fmt.Errorf("runner: closing checkpoint %s: %w", opts.Checkpoint, cerr)
+		}
+	}
+	switch {
+	case ckptErr != nil:
+		err = ckptErr
+	case ctx.Err() != nil:
 		err = ctx.Err()
+	}
+	if err != nil {
 		for _, idx := range pending {
 			if !done[idx] {
-				results[idx] = Result[R]{Key: jobs[idx].Key, Err: fmt.Errorf("runner: job %q not run: %w", jobs[idx].Key, ctx.Err())}
+				results[idx] = Result[R]{Key: jobs[idx].Key, Err: fmt.Errorf("runner: job %q not run: %w", jobs[idx].Key, err)}
 			}
 		}
 	}
 	return results, tr.stats(), err
 }
 
-// execute runs one job with panic isolation and an optional deadline.
-// The job runs on its own goroutine so a panic unwinds there and a
-// timed-out computation can be abandoned without killing the worker.
-func execute[R any](ctx context.Context, timeout time.Duration, job Job[R]) Result[R] {
+// recordSalvage mirrors checkpoint-recovery outcomes into obs counters.
+func recordSalvage(reg *obs.Registry, s Salvage) {
+	if reg == nil {
+		return
+	}
+	if s.TornBytes > 0 {
+		reg.Counter("runner.checkpoint_torn_bytes").Add(uint64(s.TornBytes))
+	}
+	if s.BadLines > 0 {
+		reg.Counter("runner.checkpoint_bad_lines").Add(uint64(s.BadLines))
+	}
+	if s.Truncated {
+		reg.Counter("runner.checkpoint_salvages").Inc()
+	}
+}
+
+// executeWithRetry runs one job, re-executing it after a
+// transient-classified failure up to opts.Retries times. Each attempt
+// gets its own timeout; backoff sleeps are context-aware and excluded
+// from the recorded Elapsed.
+func executeWithRetry[R any](ctx context.Context, opts Options, job Job[R]) Result[R] {
+	var res Result[R]
+	var total time.Duration
+	for attempt := 1; ; attempt++ {
+		res = execute(ctx, opts, job, attempt)
+		total += res.Elapsed
+		res.Attempts = attempt
+		res.Elapsed = total
+		if res.Err == nil || attempt > opts.Retries || !fault.IsTransient(res.Err) || ctx.Err() != nil {
+			return res
+		}
+		if d := retryDelay(opts.RetryBackoff, job.Key, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return res
+			}
+		}
+	}
+}
+
+// retryDelay computes the backoff before the retry that follows a failed
+// attempt: base doubled per prior attempt (capped), plus a deterministic
+// per-(key, attempt) jitter of up to base/2 so synchronized workers
+// hitting a shared contended resource spread out identically on replay.
+func retryDelay(base time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << shift
+	h := rng.Mix64(uint64(attempt))
+	for _, b := range []byte(key) {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	jitter := time.Duration(h % uint64(base/2+1))
+	return d + jitter
+}
+
+// execute runs one job attempt with panic isolation and an optional
+// deadline. The job runs on its own goroutine so a panic unwinds there
+// and a timed-out computation can be abandoned without killing the
+// worker. When an injection schedule is set, it is consulted before the
+// job body runs.
+func execute[R any](ctx context.Context, opts Options, job Job[R], attempt int) Result[R] {
 	res := Result[R]{Key: job.Key}
+	if err := opts.Inject.Check(job.Key, attempt); err != nil {
+		res.Err = err
+		return res
+	}
 	jctx := ctx
-	if timeout > 0 {
+	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, timeout)
+		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
 	type outcome struct {

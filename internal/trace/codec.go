@@ -38,6 +38,56 @@ var (
 	errTooLarge = errors.New("trace: header count exceeds sanity limit")
 )
 
+// FormatError is a decode failure that carries its position in the
+// input, so a corrupt multi-gigabyte trace file reports where it broke
+// instead of just that it broke. Offset is the byte offset consumed when
+// the binary decoder failed (-1 when not applicable); Line is the 1-based
+// line of the text decoder failure (0 when not applicable). Unwrap
+// exposes the cause, so errors.Is(err, ErrBadMagic) etc. keep working.
+type FormatError struct {
+	Offset int64
+	Line   int
+	Err    error
+}
+
+func (e *FormatError) Error() string {
+	// Causes from this package already carry the "trace: " prefix;
+	// splice the position in after it rather than stacking prefixes.
+	cause := strings.TrimPrefix(e.Err.Error(), "trace: ")
+	switch {
+	case e.Line > 0:
+		return fmt.Sprintf("trace: line %d: %s", e.Line, cause)
+	case e.Offset >= 0:
+		return fmt.Sprintf("trace: offset %d: %s", e.Offset, cause)
+	default:
+		return e.Err.Error()
+	}
+}
+
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// countReader counts bytes actually consumed from the decode stream —
+// unlike wrapping the underlying reader, buffered read-ahead does not
+// inflate the position.
+type countReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 const maxReasonableCount = 1 << 34
 
 // allocHint caps eager slice preallocation from decoded header counts. A
@@ -101,20 +151,24 @@ func WriteBinary(w io.Writer, k *KernelTrace) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes a kernel trace previously written by WriteBinary.
+// ReadBinary decodes a kernel trace previously written by WriteBinary
+// and validates it (see KernelTrace.Validate). Decode and validation
+// failures are *FormatError values carrying the byte offset at which the
+// stream broke.
 func ReadBinary(r io.Reader) (*KernelTrace, error) {
-	br := bufio.NewReader(r)
+	cr := &countReader{br: bufio.NewReader(r)}
+	fail := func(err error) error { return &FormatError{Offset: cr.n, Line: 0, Err: err} }
 	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fail(fmt.Errorf("reading magic: %w", err))
 	}
 	if string(magic) != binaryMagic {
-		return nil, ErrBadMagic
+		return nil, &FormatError{Offset: 0, Err: ErrBadMagic}
 	}
 	readUvarint := func() (uint64, error) {
-		v, err := binary.ReadUvarint(br)
+		v, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return 0, fmt.Errorf("trace: truncated stream: %w", err)
+			return 0, fail(fmt.Errorf("truncated stream: %w", err))
 		}
 		return v, nil
 	}
@@ -123,11 +177,11 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 		return nil, err
 	}
 	if nameLen > 1<<16 {
-		return nil, errTooLarge
+		return nil, fail(errTooLarge)
 	}
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, fail(fmt.Errorf("reading name: %w", err))
 	}
 	grid, err := readUvarint()
 	if err != nil {
@@ -145,7 +199,7 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 	// cast: a corrupt header claiming >= 2^63 would otherwise wrap to a
 	// negative dimension.
 	if grid > maxReasonableCount || block > maxReasonableCount || nThreads > maxReasonableCount {
-		return nil, errTooLarge
+		return nil, fail(errTooLarge)
 	}
 	k := &KernelTrace{
 		Name:     string(name),
@@ -159,7 +213,7 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 			return nil, err
 		}
 		if nAcc > maxReasonableCount {
-			return nil, errTooLarge
+			return nil, fail(errTooLarge)
 		}
 		tt := ThreadTrace{
 			ThreadID: t,
@@ -175,18 +229,21 @@ func ReadBinary(r io.Reader) (*KernelTrace, error) {
 			if err != nil {
 				return nil, err
 			}
-			kind, err := br.ReadByte()
+			kind, err := cr.ReadByte()
 			if err != nil {
-				return nil, fmt.Errorf("trace: truncated stream: %w", err)
+				return nil, fail(fmt.Errorf("truncated stream: %w", err))
 			}
 			if kind > byte(Sync) {
-				return nil, fmt.Errorf("trace: invalid access kind %d", kind)
+				return nil, fail(fmt.Errorf("invalid access kind %d", kind))
 			}
 			prevPC += uint64(unzigzag(dpc))
 			prevAddr += uint64(unzigzag(daddr))
 			tt.Accesses = append(tt.Accesses, Access{PC: prevPC, Addr: prevAddr, Kind: Kind(kind)})
 		}
 		k.Threads = append(k.Threads, tt)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fail(err)
 	}
 	return k, nil
 }
@@ -218,7 +275,9 @@ func WriteText(w io.Writer, k *KernelTrace) error {
 	return bw.Flush()
 }
 
-// ReadText parses the format produced by WriteText.
+// ReadText parses the format produced by WriteText and validates the
+// result (see KernelTrace.Validate). Parse failures are *FormatError
+// values carrying the 1-based line number.
 func ReadText(r io.Reader) (*KernelTrace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -249,18 +308,18 @@ func ReadText(r io.Reader) (*KernelTrace, error) {
 		case strings.HasPrefix(line, "T "):
 			var tid int
 			if _, err := fmt.Sscanf(line, "T %d", &tid); err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad thread header %q", lineNo, line)
+				return nil, &FormatError{Offset: -1, Line: lineNo, Err: fmt.Errorf("bad thread header %q", line)}
 			}
 			k.Threads = append(k.Threads, ThreadTrace{ThreadID: tid})
 			cur = &k.Threads[len(k.Threads)-1]
 		default:
 			if cur == nil {
-				return nil, fmt.Errorf("trace: line %d: access before thread header", lineNo)
+				return nil, &FormatError{Offset: -1, Line: lineNo, Err: fmt.Errorf("access before thread header")}
 			}
 			var kindStr string
 			var pc, addr uint64
 			if _, err := fmt.Sscanf(line, "%s %x %x", &kindStr, &pc, &addr); err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad access %q", lineNo, line)
+				return nil, &FormatError{Offset: -1, Line: lineNo, Err: fmt.Errorf("bad access %q", line)}
 			}
 			var kind Kind
 			switch kindStr {
@@ -271,13 +330,16 @@ func ReadText(r io.Reader) (*KernelTrace, error) {
 			case "BAR":
 				kind = Sync
 			default:
-				return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kindStr)
+				return nil, &FormatError{Offset: -1, Line: lineNo, Err: fmt.Errorf("unknown kind %q", kindStr)}
 			}
 			cur.Accesses = append(cur.Accesses, Access{PC: pc, Addr: addr, Kind: kind})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, &FormatError{Offset: -1, Line: lineNo, Err: err}
 	}
 	return k, nil
 }

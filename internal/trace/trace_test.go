@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -101,7 +102,7 @@ func TestBinaryCompression(t *testing.T) {
 }
 
 func TestBinaryBadMagic(t *testing.T) {
-	if _, err := ReadBinary(strings.NewReader("NOTATRACE")); err != ErrBadMagic {
+	if _, err := ReadBinary(strings.NewReader("NOTATRACE")); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", err)
 	}
 }
