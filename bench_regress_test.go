@@ -17,11 +17,16 @@ package gmap
 //     is a same-process ratio, so unlike raw ns/op it is comparable
 //     across machines; it must stay under 3% (GMAP_BENCH_OBS_MAX
 //     overrides).
+//   - BENCH_trace.json pins the span-tracing overhead the same way: the
+//     simulator with a trace span attached versus detached, with the
+//     disabled (nil-span) path additionally required to stay within the
+//     same 3% budget (GMAP_BENCH_TRACE_MAX overrides).
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
@@ -34,6 +39,7 @@ const (
 	envUpdate    = "GMAP_BENCH_UPDATE"
 	envTolerance = "GMAP_BENCH_TOLERANCE"
 	envObsMax    = "GMAP_BENCH_OBS_MAX"
+	envTraceMax  = "GMAP_BENCH_TRACE_MAX"
 )
 
 func requireRegress(t *testing.T) {
@@ -234,6 +240,147 @@ func TestBenchRegressObsOverhead(t *testing.T) {
 	if overhead > maxFrac {
 		t.Fatalf("observability overhead %.2f%% exceeds the %.0f%% budget (obs off %v, obs on %v)",
 			overhead*100, maxFrac*100, offBest, onBest)
+	}
+}
+
+// traceBaseline is BENCH_trace.json: the recorded span-tracing overhead
+// of the memory-system simulator.
+type traceBaseline struct {
+	Benchmark       string  `json:"benchmark"`
+	TraceOffNsPerOp int64   `json:"trace_off_ns_per_op"`
+	TraceOnNsPerOp  int64   `json:"trace_on_ns_per_op"`
+	OverheadFrac    float64 `json:"overhead_frac"`
+	MaxFrac         float64 `json:"max_frac"`
+	Notes           string  `json:"notes"`
+}
+
+// TestBenchRegressTraceOverhead measures the traced-versus-untraced
+// simulator in the same process and fails when attaching a span costs
+// more than 3%. The untraced side runs the nil-span path that every
+// production simulation without -trace-out takes, so this is also the
+// disabled-path budget. BENCH_trace.json records the measurement.
+func TestBenchRegressTraceOverhead(t *testing.T) {
+	requireRegress(t)
+	tr, err := BenchmarkTrace("blk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warps := Coalesce(tr, 128)
+	// The true cost is a handful of span records per run — far below the
+	// noise floor of a single run on a shared host, where drift has
+	// correlation times of whole seconds and min-of-N ratios wander by
+	// several percent. Each round therefore times the two sides in an
+	// ABBA sequence (off, on, on, off) with each side the min of 5 runs:
+	// position effects — the second run in a back-to-back pair reliably
+	// pays the first one's GC debt — cancel within the round, slow drift
+	// cancels across the palindrome, the min-of-5 strips scheduling
+	// spikes from each sample, and outlier rounds fall out of the median
+	// taken over rounds. A null experiment (both sides untraced) stays
+	// within ±1% under this design.
+	const rounds = 9
+	const minOf = 5
+
+	off := DefaultSimConfig()
+	// Each traced round gets a fresh tracer so the event log never grows
+	// across rounds — the measurement stays per-run, not cumulative.
+	tracedRound := func() time.Duration {
+		tracer := NewTracer()
+		root := tracer.Root("bench")
+		on := DefaultSimConfig()
+		on.TraceSpan = root
+		d := measureSim(t, on, warps, minOf)
+		root.End()
+		return d
+	}
+
+	// Warm both paths first so neither side pays first-run effects.
+	measureSim(t, off, warps, 1)
+	tracedRound()
+	ratios := make([]float64, 0, rounds)
+	var offBest, onBest time.Duration = 1<<63 - 1, 1<<63 - 1
+	for i := 0; i < rounds; i++ {
+		dOff1 := measureSim(t, off, warps, minOf)
+		dOn1 := tracedRound()
+		dOn2 := tracedRound()
+		dOff2 := measureSim(t, off, warps, minOf)
+		ratios = append(ratios, float64(dOn1+dOn2)/float64(dOff1+dOff2))
+		for _, d := range []time.Duration{dOff1, dOff2} {
+			if d < offBest {
+				offBest = d
+			}
+		}
+		for _, d := range []time.Duration{dOn1, dOn2} {
+			if d < onBest {
+				onBest = d
+			}
+		}
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2] - 1
+
+	maxFrac := envFraction(t, envTraceMax, 0.03)
+	t.Logf("trace off: %v  trace on: %v  median paired overhead: %+.2f%% (max %.0f%%)",
+		offBest, onBest, overhead*100, maxFrac*100)
+
+	if os.Getenv(envUpdate) == "1" {
+		base := traceBaseline{
+			Benchmark:       "SimulateWarps(blk, scale 1), median ABBA-paired ratio (min-of-5 samples) over 9 rounds, trace span attached vs nil",
+			TraceOffNsPerOp: offBest.Nanoseconds(),
+			TraceOnNsPerOp:  onBest.Nanoseconds(),
+			OverheadFrac:    float64(int(overhead*10000)) / 10000,
+			MaxFrac:         maxFrac,
+			Notes: "Span tracing records two spans per single-launch simulation (memsim.run plus the " +
+				"bench root) — the per-run cost is span bookkeeping, not per-request work. The off " +
+				"side exercises the nil-span fast path. The overhead is the median of per-round " +
+				"paired on/off ratios, which is robust to the slow drift of shared hosts. Refresh " +
+				"with GMAP_BENCH_REGRESS=1 GMAP_BENCH_UPDATE=1 go test -run TestBenchRegressTraceOverhead .",
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_trace.json", append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("BENCH_trace.json refreshed")
+		return
+	}
+
+	if overhead > maxFrac {
+		t.Fatalf("span-tracing overhead %.2f%% exceeds the %.0f%% budget (trace off %v, trace on %v)",
+			overhead*100, maxFrac*100, offBest, onBest)
+	}
+}
+
+// BenchmarkSimTraceOff / BenchmarkSimTraceOn expose the two sides of the
+// span-tracing measurement as ordinary benchmarks:
+//
+//	go test -run=xxx -bench='BenchmarkSimTrace' -benchtime=5x .
+func BenchmarkSimTraceOff(b *testing.B) {
+	benchSimTrace(b, false)
+}
+
+func BenchmarkSimTraceOn(b *testing.B) {
+	benchSimTrace(b, true)
+}
+
+func benchSimTrace(b *testing.B, withTrace bool) {
+	b.Helper()
+	tr, err := BenchmarkTrace("blk", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warps := Coalesce(tr, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSimConfig()
+		if withTrace {
+			tracer := NewTracer()
+			cfg.TraceSpan = tracer.Root("bench")
+		}
+		if _, err := SimulateWarps(warps, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

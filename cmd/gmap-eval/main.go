@@ -52,6 +52,11 @@ func main() {
 		tolerate    = flag.Bool("tolerate", false, "skip-and-report benchmarks whose sweep points fail instead of aborting the figure")
 		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON, incl. worker utilization) to this file")
 		obsSnap     = flag.String("obs-snapshot", "", "dump the observability registry (runner/profiler/synth instrumentation) as JSON to this file (- for stdout)")
+		serveAddr   = flag.String("serve", "", "serve live observability over HTTP on this address (/metrics, /progress, /trace, /debug/pprof)")
+		traceOut    = flag.String("trace-out", "", "export the span trace to this file: Chrome trace-event JSON (load in Perfetto), or JSONL if the path ends in .jsonl (- for stdout)")
+		attrOut     = flag.String("attr-out", "", "write per-π / per-PC accuracy-attribution reports to this file: markdown if the path ends in .md, else JSON (- for stdout)")
+		attrThresh  = flag.Float64("attr-threshold", 2, "figure-error level above which a benchmark is attributed (pp for rates, % for magnitudes; with -attr-out)")
+		attrTop     = flag.Int("attr-top", 8, "ranked π / PC entries kept per attribution report")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -78,8 +83,14 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		Context:      ctx,
 	}
-	if *obsSnap != "" {
+	if *obsSnap != "" || *serveAddr != "" {
 		opts.Obs = gmap.NewObsRegistry()
+	}
+	if *traceOut != "" || *serveAddr != "" {
+		opts.Trace = gmap.NewTracer()
+	}
+	if *attrOut != "" {
+		opts.Attr = &gmap.AttrOptions{Threshold: *attrThresh, TopK: *attrTop}
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
@@ -88,6 +99,19 @@ func main() {
 		opts.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *serveAddr != "" {
+		srv, err := gmap.StartObsServer(ctx, gmap.ServeOptions{
+			Addr:     *serveAddr,
+			Registry: opts.Obs,
+			Tracer:   opts.Trace,
+			Progress: func() interface{} { return opts.ProgressSnapshot() },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Shutdown()
+		fmt.Fprintf(os.Stderr, "gmap-eval: serving observability on http://%s\n", srv.Addr())
 	}
 
 	var w io.Writer = os.Stdout
@@ -107,6 +131,16 @@ func main() {
 	}
 	if *obsSnap != "" {
 		if err := writeObsSnapshot(*obsSnap, opts.Obs); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Trace); err != nil {
+			fatal(err)
+		}
+	}
+	if *attrOut != "" {
+		if err := writeAttr(*attrOut, opts.Attr.Reports()); err != nil {
 			fatal(err)
 		}
 	}
@@ -131,6 +165,55 @@ func writeObsSnapshot(path string, r *gmap.ObsRegistry) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeTrace exports the span log, picking the format from the path:
+// .jsonl gets the structured-event stream, anything else the Chrome
+// trace-event JSON Perfetto loads.
+func writeTrace(path string, tr *gmap.Tracer) error {
+	export := tr.WriteChrome
+	if strings.HasSuffix(path, ".jsonl") {
+		export = tr.WriteJSONL
+	}
+	if path == "-" {
+		return export(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace export %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace export %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeAttr writes the attribution reports, as markdown when the path
+// ends in .md and JSON otherwise.
+func writeAttr(path string, reports []*gmap.AttrReport) error {
+	export := func(w io.Writer) error { return gmap.WriteAttrJSON(w, reports) }
+	if strings.HasSuffix(path, ".md") {
+		export = func(w io.Writer) error { return gmap.WriteAttrMarkdown(w, reports) }
+	}
+	if path == "-" {
+		return export(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("attribution report: %w", err)
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return fmt.Errorf("attribution report %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("attribution report %s: %w", path, err)
+	}
+	return nil
 }
 
 func writeSummary(path string, opts *gmap.ExperimentOptions) error {

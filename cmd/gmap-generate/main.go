@@ -24,6 +24,7 @@ func main() {
 		scaleFactor = flag.Float64("scale-factor", 4, "miniaturization factor (1 = full size; values in (0,1) scale the workload up)")
 		obfuscate   = flag.Bool("obfuscate", false, "replace base addresses with synthetic ones")
 		key         = flag.Uint64("key", 0, "obfuscation key (with -obfuscate)")
+		obsSnap     = flag.String("obs-snapshot", "", "dump the observability registry (generation phase timings) as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 	if *profilePath == "" {
@@ -38,14 +39,23 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *profilePath, err))
 	}
-	proxy, err := gmap.Generate(profile, gmap.GenerateOptions{
+	gopts := gmap.GenerateOptions{
 		Seed:           *seed,
 		ScaleFactor:    *scaleFactor,
 		Obfuscate:      *obfuscate,
 		ObfuscationKey: *key,
-	})
+	}
+	if *obsSnap != "" {
+		gopts.Obs = gmap.NewObsRegistry()
+	}
+	proxy, err := gmap.Generate(profile, gopts)
 	if err != nil {
 		fatal(err)
+	}
+	if *obsSnap != "" {
+		if err := writeObsSnapshot(*obsSnap, gopts.Obs); err != nil {
+			fatal(err)
+		}
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -69,6 +79,26 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeObsSnapshot dumps the registry as JSON; write failures carry the
+// destination path.
+func writeObsSnapshot(path string, r *gmap.ObsRegistry) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs snapshot: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs snapshot %s: %w", path, err)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ func main() {
 		lineSize  = flag.Uint64("line-size", 128, "coalescing line size in bytes")
 		threshold = flag.Float64("cluster-threshold", 0.9, "π-profile similarity threshold Th")
 		maxM      = flag.Int("max-profiles", 8, "maximum dominant π profiles kept (M)")
+		obsSnap   = flag.String("obs-snapshot", "", "dump the observability registry (profiling phase timings, coalescer histograms) as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -40,9 +41,17 @@ func main() {
 	cfg.LineSize = *lineSize
 	cfg.ClusterThreshold = *threshold
 	cfg.MaxProfiles = *maxM
+	if *obsSnap != "" {
+		cfg.Obs = gmap.NewObsRegistry()
+	}
 	profile, err := gmap.ProfileTrace(tr, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *obsSnap != "" {
+		if err := writeObsSnapshot(*obsSnap, cfg.Obs); err != nil {
+			fatal(err)
+		}
 	}
 
 	w := os.Stdout
@@ -88,6 +97,26 @@ func loadTrace(workload string, scale int, in, format string) (*gmap.KernelTrace
 	default:
 		return nil, fmt.Errorf("one of -workload or -in is required")
 	}
+}
+
+// writeObsSnapshot dumps the registry as JSON; write failures carry the
+// destination path.
+func writeObsSnapshot(path string, r *gmap.ObsRegistry) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs snapshot: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs snapshot %s: %w", path, err)
+	}
+	return nil
 }
 
 func fatal(err error) {

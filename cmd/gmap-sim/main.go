@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,8 @@ func main() {
 		retryBck = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
 		obsOut   = flag.String("obs-out", "", "stream cycle-sampled observability series to this JSONL file (- for stdout)")
 		obsSnap  = flag.String("obs-snapshot", "", "dump the full observability registry as JSON to this file (- for stdout)")
+		serveA   = flag.String("serve", "", "serve live observability over HTTP on this address (/metrics, /trace, /debug/pprof)")
+		traceOut = flag.String("trace-out", "", "export the span trace: Chrome trace-event JSON (Perfetto), or JSONL if the path ends in .jsonl (- for stdout)")
 	)
 	flag.Parse()
 
@@ -115,11 +118,29 @@ func main() {
 		cfg.L2Prefetcher = p
 	}
 
-	if *obsOut != "" || *obsSnap != "" {
+	if *obsOut != "" || *obsSnap != "" || *serveA != "" {
 		cfg.Obs = gmap.NewObsRegistry()
+	}
+	var tracer *gmap.Tracer
+	var root *gmap.TraceSpan
+	if *traceOut != "" || *serveA != "" {
+		tracer = gmap.NewTracer()
+		root = tracer.Root("gmap-sim")
+		cfg.TraceSpan = root
+	}
+	if *serveA != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		srv, err := gmap.StartObsServer(ctx, gmap.ServeOptions{Addr: *serveA, Registry: cfg.Obs, Tracer: tracer})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Shutdown()
+		fmt.Fprintf(os.Stderr, "gmap-sim: serving observability on http://%s\n", srv.Addr())
 	}
 
 	metrics, name, err := runSim(*workload, *scale, *in, *proxyIn, cfg, *timeout, *retries, *retryBck)
+	root.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -131,6 +152,15 @@ func main() {
 	if *obsSnap != "" {
 		if err := writeObs(*obsSnap, cfg.Obs.WriteJSON); err != nil {
 			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		export := tracer.WriteChrome
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			export = tracer.WriteJSONL
+		}
+		if err := writeObs(*traceOut, export); err != nil {
+			fatal(fmt.Errorf("trace export %s: %w", *traceOut, err))
 		}
 	}
 	fmt.Printf("workload:          %s\n", name)

@@ -28,6 +28,7 @@
 package gmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,6 +37,8 @@ import (
 	"github.com/uteda/gmap/internal/gpu"
 	"github.com/uteda/gmap/internal/memsim"
 	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/obs/serve"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/trace"
@@ -106,11 +109,51 @@ type (
 	// ObsSnapshot is a point-in-time JSON-marshalable copy of an
 	// ObsRegistry's contents.
 	ObsSnapshot = obs.Snapshot
+
+	// Tracer records hierarchical spans of a pipeline run (sweep → job →
+	// phase → simulation epoch) and exports them as Chrome trace-event
+	// JSON (Perfetto-loadable) or a JSONL event stream. Like ObsRegistry,
+	// a nil tracer disables span recording and attaching one never
+	// changes any result.
+	Tracer = obstrace.Tracer
+	// TraceSpan is one recorded span; nil spans no-op all methods.
+	TraceSpan = obstrace.Span
+
+	// ServeOptions configures the live observability HTTP server: the
+	// bind address plus the registry, tracer and progress snapshot it
+	// exposes read-only on /metrics, /trace and /progress.
+	ServeOptions = serve.Options
+	// ObsServer is a running observability exposition server.
+	ObsServer = serve.Server
+
+	// AttrOptions enables per-π / per-PC accuracy attribution for
+	// benchmarks whose figure error exceeds a threshold; AttrReport is
+	// one benchmark's ranked drill-down.
+	AttrOptions = eval.AttrOptions
+	AttrReport  = eval.AttrReport
 )
 
 // NewObsRegistry returns an enabled observability registry ready to be
 // attached to the pipeline.
 func NewObsRegistry() *ObsRegistry { return obs.New() }
+
+// NewTracer returns an enabled span tracer ready to be attached to the
+// pipeline (via ExperimentOptions.Trace or SimConfig.TraceSpan roots).
+func NewTracer() *Tracer { return obstrace.New() }
+
+// StartObsServer binds and serves the observability endpoints until the
+// context is cancelled or Shutdown is called.
+func StartObsServer(ctx context.Context, o ServeOptions) (*ObsServer, error) {
+	return serve.Start(ctx, o)
+}
+
+// WriteAttrJSON and WriteAttrMarkdown render accuracy-attribution
+// reports (AttrOptions.Reports) as JSON or a markdown drill-down.
+func WriteAttrJSON(w io.Writer, reports []*AttrReport) error { return eval.WriteAttrJSON(w, reports) }
+
+func WriteAttrMarkdown(w io.Writer, reports []*AttrReport) error {
+	return eval.WriteAttrMarkdown(w, reports)
+}
 
 // Load/store kinds.
 const (

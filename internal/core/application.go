@@ -51,7 +51,7 @@ func PrepareAppTrace(app *trace.Application, pcfg profiler.Config, sopts synth.O
 	if err != nil {
 		return nil, err
 	}
-	coalescer := gpu.NewCoalescer(pcfg.LineSize)
+	coalescer := gpu.NewCoalescer(pcfg.LineSize).AttachObs(pcfg.Obs)
 	launches := make([][]trace.WarpTrace, len(app.Launches))
 	for i, k := range app.Launches {
 		launches[i] = coalescer.BuildWarpTraces(k)

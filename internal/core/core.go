@@ -59,7 +59,7 @@ func PrepareTrace(tr *trace.KernelTrace, pcfg profiler.Config, sopts synth.Optio
 	return &Workload{
 		Name:    tr.Name,
 		Trace:   tr,
-		Warps:   gpu.NewCoalescer(pcfg.LineSize).BuildWarpTraces(tr),
+		Warps:   gpu.NewCoalescer(pcfg.LineSize).AttachObs(pcfg.Obs).BuildWarpTraces(tr),
 		Profile: p,
 		Proxy:   proxy,
 	}, nil

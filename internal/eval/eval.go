@@ -11,6 +11,7 @@ import (
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/memsim"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/stats"
@@ -79,12 +80,24 @@ type Options struct {
 	// profiling/generation phase histograms ("profile.*", "synth.*").
 	// Purely observational; results are identical with or without it.
 	Obs *obs.Registry
+	// Trace, when non-nil, records hierarchical spans of the run: one
+	// "eval.<experiment>" root per sweep, per-benchmark preparation spans
+	// (nesting the profiler/synth phase spans), and the execution engine's
+	// worker/job/attempt spans beneath each sweep. Purely observational,
+	// like Obs.
+	Trace *obstrace.Tracer
+	// Attr, when non-nil, enables per-π / per-PC accuracy attribution:
+	// benchmarks whose figure error exceeds Attr.Threshold get a ranked
+	// drill-down report (see attribution.go).
+	Attr *AttrOptions
 
 	// progressMu serializes Progress delivery; exec accumulates runner
-	// statistics. Both are pointers so copies of an Options value share
-	// them.
+	// statistics; live mirrors the newest runner event for the HTTP
+	// /progress endpoint. All are pointers so copies of an Options value
+	// share them.
 	progressMu *sync.Mutex
 	exec       *execAccum
+	live       *liveProgress
 }
 
 // execAccum totals runner statistics across every sweep this Options
@@ -117,6 +130,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.exec == nil {
 		o.exec = &execAccum{}
+	}
+	if o.live == nil {
+		o.live = &liveProgress{}
 	}
 }
 
@@ -169,6 +185,9 @@ func (o *Options) jobKey(experiment, benchmark string, parts ...string) string {
 // caller to collect; the error return is cancellation only.
 func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runner.Result[R], runner.Stats, error) {
 	lastDecile := -1
+	sweepSpan := o.Trace.Root("eval."+experiment, obstrace.Int("jobs", int64(len(jobs))))
+	defer sweepSpan.End()
+	o.live.beginSweep(experiment, len(jobs))
 	ropts := runner.Options{
 		Workers:      o.Workers,
 		Timeout:      o.JobTimeout,
@@ -180,7 +199,9 @@ func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runn
 		FS:           o.FS,
 		Inject:       o.Inject,
 		Obs:          o.Obs,
+		TraceSpan:    sweepSpan,
 		OnEvent: func(e runner.Event) {
+			o.live.note(e)
 			if e.Kind == runner.JobFailed {
 				o.logf("%s job %s failed: %v", experiment, e.Key, e.Err)
 			}
@@ -232,9 +253,13 @@ func benchFailure[R any](results []runner.Result[R], bi, per int) error {
 
 // prepare builds the workload pipeline for one benchmark.
 func (o *Options) prepare(name string) (*core.Workload, error) {
+	sp := o.Trace.Root("eval.prepare", obstrace.String("benchmark", name))
+	defer sp.End()
 	pcfg := profiler.DefaultConfig()
 	pcfg.Obs = o.Obs
-	return core.Prepare(name, o.Scale, pcfg, synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor, Obs: o.Obs})
+	pcfg.TraceSpan = sp
+	return core.Prepare(name, o.Scale, pcfg,
+		synth.Options{Seed: o.Seed, ScaleFactor: o.ScaleFactor, Obs: o.Obs, TraceSpan: sp})
 }
 
 // workloadCache builds each benchmark's pipeline at most once, on the
@@ -355,12 +380,15 @@ type pointSample struct {
 
 // simPoint simulates one configuration on both sides of a workload.
 // Configurations are constructed inside the job because prefetchers
-// carry training state that must not leak across runs.
-func simPoint(w *core.Workload, og, pg ConfigGen, metric core.Metric) (pointSample, error) {
+// carry training state that must not leak across runs. The span riding
+// ctx (the runner's attempt span) parents both simulations' spans.
+func simPoint(ctx context.Context, w *core.Workload, og, pg ConfigGen, metric core.Metric) (pointSample, error) {
+	span := obstrace.FromContext(ctx)
 	ocfg, err := og.Make()
 	if err != nil {
 		return pointSample{}, fmt.Errorf("eval: %s: %w", og.Label, err)
 	}
+	ocfg.TraceSpan = span
 	om, err := w.SimulateOriginal(ocfg)
 	if err != nil {
 		return pointSample{}, err
@@ -369,6 +397,7 @@ func simPoint(w *core.Workload, og, pg ConfigGen, metric core.Metric) (pointSamp
 	if err != nil {
 		return pointSample{}, fmt.Errorf("eval: %s: %w", pg.Label, err)
 	}
+	pcfg.TraceSpan = span
 	pm, err := w.SimulateProxy(pcfg)
 	if err != nil {
 		return pointSample{}, err
@@ -405,7 +434,7 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 					if err != nil {
 						return pointSample{}, err
 					}
-					return simPoint(w, og, pg, metric)
+					return simPoint(ctx, w, og, pg, metric)
 				},
 			})
 		}
@@ -440,6 +469,7 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 		fig.Rows = append(fig.Rows, row)
 		o.logf("%s %-12s error %6.2f%s corr %.3f (%d pts)",
 			id, name, row.Error, errUnit(asRate), row.Correlation, row.Points)
+		o.maybeAttribute(id, row, metric.Name, asRate, wl)
 	}
 	if len(fig.Rows) == 0 {
 		return nil, fmt.Errorf("eval %s: every benchmark failed", id)

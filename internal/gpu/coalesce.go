@@ -15,6 +15,10 @@ type Coalescer struct {
 	// LineSize is the transaction granularity in bytes; it must be a power
 	// of two. The Fermi default is 128.
 	LineSize uint64
+
+	// obs, when set by AttachObs, tallies transactions per warp request.
+	// Shared by value copies so BuildWarpTraces sees Coalesce's counts.
+	obs *coalesceObs
 }
 
 // NewCoalescer returns a coalescer with the given line size, falling back
@@ -65,6 +69,9 @@ outer:
 			Threads: s.threads,
 		}
 	}
+	if c.obs != nil {
+		c.obs.local.Observe(uint64(len(reqs)))
+	}
 	return reqs
 }
 
@@ -75,6 +82,7 @@ outer:
 // divergent subsets, lowest-lane PC first) into transactions. The result
 // is ordered exactly as a Fermi SM would issue it.
 func (c Coalescer) BuildWarpTraces(k *trace.KernelTrace) []trace.WarpTrace {
+	defer c.FlushObs()
 	launch := FromKernelTrace(k)
 	warps := make([]trace.WarpTrace, launch.NumWarps())
 	addrBuf := make([]uint64, 0, WarpSize)

@@ -1,0 +1,36 @@
+package gpu
+
+import "github.com/uteda/gmap/internal/obs"
+
+// coalesceObs is the coalescer's instrumentation state. It hangs off a
+// pointer so the value-copied Coalescer handles of one attach share a
+// single tally; the LocalHistogram keeps the per-instruction Observe
+// non-atomic (the coalescer runs in one goroutine per workload build) and
+// FlushObs publishes the batch into the shared registry histogram once.
+type coalesceObs struct {
+	local obs.LocalHistogram
+	hist  *obs.Histogram
+}
+
+// AttachObs returns a copy of c that tallies a transactions-per-warp-
+// request histogram ("coalesce.txns_per_request": 1 = fully coalesced,
+// up to 32 = fully scattered). A nil registry returns c unchanged, so
+// the disabled path stays branch-free inside Coalesce. An attached
+// coalescer (and its value copies) must stay on one goroutine until
+// FlushObs.
+func (c Coalescer) AttachObs(r *obs.Registry) Coalescer {
+	if r == nil {
+		return c
+	}
+	c.obs = &coalesceObs{hist: r.Histogram("coalesce.txns_per_request")}
+	return c
+}
+
+// FlushObs publishes the locally accumulated histogram batch into the
+// registry. BuildWarpTraces flushes automatically; call this only when
+// driving Coalesce directly.
+func (c Coalescer) FlushObs() {
+	if c.obs != nil {
+		c.obs.local.FlushTo(c.obs.hist)
+	}
+}

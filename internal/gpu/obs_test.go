@@ -1,0 +1,77 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// TestCoalescerObsHistogram drives Coalesce through a fully coalesced and
+// a fully scattered instruction and checks the transactions-per-request
+// histogram.
+func TestCoalescerObsHistogram(t *testing.T) {
+	r := obs.New()
+	c := NewCoalescer(128).AttachObs(r)
+	// 4 threads in one line → 1 transaction.
+	c.Coalesce(0, 0x10, trace.Load, []uint64{0, 4, 8, 12})
+	// 4 threads in 4 lines → 4 transactions.
+	c.Coalesce(0, 0x14, trace.Load, []uint64{0, 128, 256, 384})
+	c.FlushObs()
+	h := r.Histogram("coalesce.txns_per_request")
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 5 {
+		t.Fatalf("sum = %d, want 5 (1 + 4 transactions)", h.Sum())
+	}
+}
+
+// TestCoalescerObsNilRegistry checks AttachObs(nil) keeps the zero-cost
+// disabled path and FlushObs stays safe.
+func TestCoalescerObsNilRegistry(t *testing.T) {
+	c := NewCoalescer(128).AttachObs(nil)
+	if c.obs != nil {
+		t.Fatal("nil registry must not allocate obs state")
+	}
+	c.Coalesce(0, 0x10, trace.Load, []uint64{0})
+	c.FlushObs()
+}
+
+// TestCoalescerObsBuildWarpTracesFlushes checks BuildWarpTraces publishes
+// its batch without an explicit FlushObs, and that instrumentation does
+// not change the built streams.
+func TestCoalescerObsBuildWarpTracesFlushes(t *testing.T) {
+	k := &trace.KernelTrace{Name: "t", GridDim: 1, BlockDim: 32}
+	k.Threads = make([]trace.ThreadTrace, 32)
+	for i := range k.Threads {
+		k.Threads[i].Accesses = []trace.Access{
+			{PC: 0x10, Addr: uint64(i) * 4, Kind: trace.Load},
+			{PC: 0x18, Addr: uint64(i) * 256, Kind: trace.Load},
+		}
+	}
+	r := obs.New()
+	plain := NewCoalescer(128).BuildWarpTraces(k)
+	instr := NewCoalescer(128).AttachObs(r).BuildWarpTraces(k)
+	if len(plain) != len(instr) {
+		t.Fatalf("warp count changed: %d vs %d", len(plain), len(instr))
+	}
+	for w := range plain {
+		if len(plain[w].Requests) != len(instr[w].Requests) {
+			t.Fatalf("warp %d request count changed", w)
+		}
+		for i := range plain[w].Requests {
+			if plain[w].Requests[i] != instr[w].Requests[i] {
+				t.Fatalf("warp %d request %d changed", w, i)
+			}
+		}
+	}
+	h := r.Histogram("coalesce.txns_per_request")
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 instructions observed", h.Count())
+	}
+	// PC 0x10: 32 threads × 4B = one 128B line; PC 0x18: 32 distinct lines.
+	if h.Sum() != 1+32 {
+		t.Fatalf("sum = %d, want 33", h.Sum())
+	}
+}

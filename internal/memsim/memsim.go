@@ -20,6 +20,7 @@ import (
 	"github.com/uteda/gmap/internal/cache"
 	"github.com/uteda/gmap/internal/dram"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/prefetch"
 	"github.com/uteda/gmap/internal/rng"
 	"github.com/uteda/gmap/internal/trace"
@@ -88,6 +89,11 @@ type Config struct {
 	// conflicts and DRAM row/queue/latency activity. Observability is
 	// write-only: Metrics are bit-identical whether Obs is set or nil.
 	Obs *obs.Registry
+	// TraceSpan, when non-nil, parents the simulation's spans: one
+	// "memsim.run" child covering the whole Run with its begin/end cycles
+	// recorded, plus one "memsim.epoch" child per kernel-launch window on
+	// multi-launch streams. Write-only, like Obs.
+	TraceSpan *obstrace.Span
 }
 
 // DefaultConfig returns the Table 2 profiled system: 15 SMs, 16KB 4-way
@@ -210,6 +216,11 @@ type Simulator struct {
 		requests uint64
 		l1, l2   cache.Stats
 	}
+
+	// runSpan/epochSpan are the open trace spans of the current Run;
+	// both are nil (no-op) when Config.TraceSpan is unset.
+	runSpan   *obstrace.Span
+	epochSpan *obstrace.Span
 }
 
 // New builds a simulator over the given warp streams. Warps carry their
@@ -288,6 +299,8 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 	s.l2pf = cfg.L2Prefetcher
 	if s.l2pf == nil {
 		s.l2pf = prefetch.Nil{}
+	} else {
+		s.l2pf = prefetch.Instrument(s.l2pf, cfg.Obs, "prefetch.l2")
 	}
 
 	numBlocks := 0
@@ -328,6 +341,9 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 			if core.l1pf, err = cfg.NewL1Prefetcher(); err != nil {
 				return nil, err
 			}
+			// All cores share the prefetch.l1 counters; the per-core
+			// tracking state stays private to each wrapper.
+			core.l1pf = prefetch.Instrument(core.l1pf, cfg.Obs, "prefetch.l1")
 		} else {
 			core.l1pf = prefetch.Nil{}
 		}
@@ -382,6 +398,19 @@ func (s *Simulator) Run() (Metrics, error) {
 		}()
 	}
 	var cycle uint64
+	s.runSpan = s.cfg.TraceSpan.Child("memsim.run",
+		obstrace.Int("warps", int64(len(s.warps))),
+		obstrace.Int("cores", int64(s.cfg.NumCores)))
+	if len(s.epochRem) > 1 {
+		s.epochSpan = s.runSpan.Child("memsim.epoch", obstrace.Int("epoch", 0))
+	}
+	defer func() {
+		// Close a dangling epoch span (no-progress error path) before the
+		// run span; cycle holds the final simulated cycle either way.
+		s.epochSpan.End()
+		s.runSpan.SetCycles(0, cycle)
+		s.runSpan.End()
+	}()
 	// Every warp retires exactly once, through compactCore; warps with no
 	// memory work retire on the first pass.
 	remaining := len(s.warps)
@@ -468,6 +497,14 @@ func (s *Simulator) recordLaunch(cycle uint64) {
 	lm.L2 = diffStats(l2, s.lastSnap.l2)
 	if s.obs != nil {
 		s.obs.noteLaunch(lm, cycle)
+	}
+	// Close this launch's epoch span over its cycle window and open the
+	// next launch's (unless this was the last).
+	s.epochSpan.SetCycles(s.lastSnap.cycle, cycle)
+	s.epochSpan.End()
+	s.epochSpan = nil
+	if s.epoch+1 < len(s.epochRem) {
+		s.epochSpan = s.runSpan.Child("memsim.epoch", obstrace.Int("epoch", int64(s.epoch+1)))
 	}
 	s.metrics.PerLaunch = append(s.metrics.PerLaunch, lm)
 	s.lastSnap.cycle = cycle

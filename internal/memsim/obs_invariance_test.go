@@ -11,6 +11,7 @@ import (
 	"github.com/uteda/gmap/internal/dram"
 	"github.com/uteda/gmap/internal/memsim"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/proptest"
 	"github.com/uteda/gmap/internal/trace"
 )
@@ -119,6 +120,74 @@ func TestObsInvarianceSequence(t *testing.T) {
 		}
 		if got, want := reg.Counter("memsim.launches").Value(), uint64(len(plain.PerLaunch)); got != want {
 			t.Fatalf("seed %d: obs launches %d != recorded launches %d", seed, got, want)
+		}
+	}
+}
+
+// TestTraceInvariance extends the write-only property to span tracing:
+// attaching a trace span to the simulator must leave the metrics
+// bit-identical, while still recording the expected span structure
+// ("memsim.run", and "memsim.epoch" per launch window on multi-launch
+// streams).
+func TestTraceInvariance(t *testing.T) {
+	n := proptest.N(t, 75, 400)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x72ace + i)
+		g := proptest.New(seed)
+		launches := [][]trace.WarpTrace{g.WarpSet(6, 0.05)}
+		if g.R.Intn(2) == 1 {
+			launches = append(launches, g.WarpSet(4, 0.05))
+		}
+		cfg := memsim.Config{
+			NumCores: 1 + g.R.Intn(3),
+			L1:       g.CacheConfig(),
+			L2:       g.CacheConfig(),
+			L2Banks:  1,
+			DRAM:     dram.DefaultGDDR3(),
+			Seed:     g.R.Uint64(),
+		}
+
+		run := func(span *obstrace.Span) memsim.Metrics {
+			c := cfg
+			c.TraceSpan = span
+			sim, err := memsim.NewSequence(launches, c)
+			if err != nil {
+				t.Fatalf("seed %d (traced=%v): %v", seed, span != nil, err)
+			}
+			m, err := sim.Run()
+			if err != nil {
+				t.Fatalf("seed %d (traced=%v): %v", seed, span != nil, err)
+			}
+			return m
+		}
+
+		plain := run(nil)
+		tr := obstrace.New()
+		root := tr.Root("test")
+		traced := run(root)
+		root.End()
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("seed %d: metrics diverge with span tracing attached\n plain:  %+v\n traced: %+v", seed, plain, traced)
+		}
+
+		var runs, epochs int
+		for _, e := range tr.Events() {
+			switch e.Name {
+			case "memsim.run":
+				runs++
+			case "memsim.epoch":
+				epochs++
+			}
+		}
+		if runs != 1 {
+			t.Fatalf("seed %d: want 1 memsim.run span, got %d", seed, runs)
+		}
+		wantEpochs := 0
+		if len(launches) > 1 {
+			wantEpochs = len(launches)
+		}
+		if epochs != wantEpochs {
+			t.Fatalf("seed %d: want %d memsim.epoch spans for %d launches, got %d", seed, wantEpochs, len(launches), epochs)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // GaugeSnapshot is one gauge's exported state.
@@ -151,6 +152,10 @@ func (r *Registry) WriteSeriesJSONL(w io.Writer) error {
 
 // CounterTotal sums every counter whose name starts with prefix — a
 // convenience for tests and report lines (e.g. all per-bank writebacks).
+// The prefix must end at a name-component boundary: an exact match, or a
+// continuation that is not a letter (so "l2.bank" covers
+// "l2.bank0.writebacks" but "runner.job" does not also cover
+// "runner.jobs_dropped").
 func (r *Registry) CounterTotal(prefix string) uint64 {
 	if r == nil {
 		return 0
@@ -159,11 +164,25 @@ func (r *Registry) CounterTotal(prefix string) uint64 {
 	defer r.mu.Unlock()
 	var total uint64
 	for name, c := range r.counters {
-		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+		if counterPrefixMatch(name, prefix) {
 			total += c.Value()
 		}
 	}
 	return total
+}
+
+// counterPrefixMatch reports whether name falls under prefix for
+// CounterTotal: equal, or prefix followed by a non-letter (digits, '.',
+// '_' all delimit; a letter would continue a different word).
+func counterPrefixMatch(name, prefix string) bool {
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	if len(name) == len(prefix) {
+		return true
+	}
+	next := name[len(prefix)]
+	return !('a' <= next && next <= 'z' || 'A' <= next && next <= 'Z')
 }
 
 // String renders a terse one-line summary (metric counts), mainly for

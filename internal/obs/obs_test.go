@@ -295,6 +295,24 @@ func TestCounterTotal(t *testing.T) {
 	}
 }
 
+// TestCounterTotalDelimiter is the regression test for the prefix-match
+// bug where "runner.job" also matched "runner.jobs_dropped": a prefix
+// only matches at a component boundary (exact, or followed by a
+// non-letter).
+func TestCounterTotalDelimiter(t *testing.T) {
+	r := New()
+	r.Counter("runner.job").Add(5)
+	r.Counter("runner.job.retries").Add(2)
+	r.Counter("runner.jobs_dropped").Add(100)
+	if got := r.CounterTotal("runner.job"); got != 7 {
+		t.Fatalf("CounterTotal(runner.job) = %d, want 7 (jobs_dropped must not match)", got)
+	}
+	// Digits remain valid boundaries: per-bank counters still aggregate.
+	if got := r.CounterTotal("runner.jobs_dropped"); got != 100 {
+		t.Fatalf("exact match = %d, want 100", got)
+	}
+}
+
 func TestPhaseRecordsHistogram(t *testing.T) {
 	r := New()
 	ran := false

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a point-in-time registry snapshot in the
+// Prometheus text exposition format (version 0.0.4): counters as
+// counters, gauges as a value/max gauge pair, histograms as cumulative
+// le-bucketed histograms with _sum and _count, and each sampled series'
+// most recent point as a gauge under a series_ prefix. Metric names are
+// sanitized (non-alphanumerics become '_') and prefixed gmap_; output is
+// in sorted name order so it is golden-comparable. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return writePrometheus(w, r.Snapshot())
+}
+
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range names(snap.Counters) {
+		m := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[name])
+	}
+	for _, name := range names(snap.Gauges) {
+		g := snap.Gauges[name]
+		m := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", m, m, g.Value)
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n%s_max %d\n", m, m, g.Max)
+	}
+	for _, name := range names(snap.Histograms) {
+		h := snap.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", m)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			// Prometheus le is inclusive; our buckets are [Lo, Hi), so the
+			// inclusive upper bound is Hi-1 (the zero bucket holds only 0).
+			hi := uint64(0)
+			if b.Hi > 0 {
+				hi = b.Hi - 1
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m, hi, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", m, h.Sum, m, h.Count)
+	}
+	for _, name := range names(snap.Series) {
+		pts := snap.Series[name]
+		if len(pts) == 0 {
+			continue
+		}
+		last := pts[len(pts)-1]
+		m := promName("series." + name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", m, m,
+			strconv.FormatFloat(last.Value, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// promName maps a dotted registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:] with a gmap_ namespace prefix.
+func promName(name string) string {
+	b := []byte("gmap_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}

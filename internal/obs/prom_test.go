@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func promGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("GMAP_UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with GMAP_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestWritePrometheusGolden freezes the exposition format: sorted
+// deterministic ordering, sanitized gmap_ names, cumulative histogram
+// buckets, gauge value/max pair, last series point as a gauge.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("dram.reads").Add(100)
+	r.Counter("l2.bank0.writebacks").Add(3)
+	g := r.Gauge("core0.mshrs_in_flight")
+	g.Set(7)
+	g.Set(2)
+	h := r.Histogram("dram.read_latency")
+	h.Observe(3)
+	h.Observe(5)
+	h.Observe(900)
+	s := r.Sampler("ipc", 64)
+	s.Sample(0, 0.5)
+	s.Sample(64, 1.25)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	promGolden(t, "prom.txt", buf.Bytes())
+}
+
+// TestWritePrometheusEmpty covers the empty-registry and nil-registry
+// cases: both must produce an empty (still valid) exposition.
+func TestWritePrometheusEmpty(t *testing.T) {
+	for name, r := range map[string]*Registry{"empty": New(), "nil": nil} {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%s: want no output, got %q", name, buf.String())
+		}
+	}
+}
+
+// TestPrometheusHistogramCumulative checks the le buckets are cumulative
+// and capped by the +Inf bucket equal to the total count.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 0; i < 10; i++ {
+		h.Observe(uint64(1) << i)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `gmap_lat_bucket{le="+Inf"} 10`) {
+		t.Errorf("missing +Inf bucket with total count:\n%s", out)
+	}
+	if !strings.Contains(out, "gmap_lat_count 10") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	// Cumulative counts must be non-decreasing down the bucket list.
+	prev := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "gmap_lat_bucket") || strings.Contains(line, "+Inf") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("cumulative count decreased: %q after %d", line, prev)
+		}
+		prev = n
+	}
+}
+
+// fmtSscan pulls the trailing integer off an exposition line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := parseInt(line[i+1:])
+	*n = v
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, os.ErrInvalid
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	return v, nil
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dram.reads":        "gmap_dram_reads",
+		"phase.eval-fig6a":  "gmap_phase_eval_fig6a",
+		"l2.bank0.hits":     "gmap_l2_bank0_hits",
+		"weird name/metric": "gmap_weird_name_metric",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

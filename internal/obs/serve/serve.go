@@ -1,0 +1,157 @@
+// Package serve exposes a running sweep's observability state over HTTP:
+// a read-only exposition server mounted behind `gmap-eval -serve` and
+// `gmap-sim -serve`. Endpoints:
+//
+//	/metrics       Prometheus text rendered from a Registry snapshot
+//	/progress      JSON mirror of the execution engine's live stats
+//	/trace         the span log as a JSONL event stream
+//	/trace/chrome  the span log as Chrome trace-event JSON (Perfetto)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Every handler snapshots on request — nothing holds locks between
+// requests and nothing mutates pipeline state — so the server can never
+// perturb a simulation result. The server shuts down cleanly when the
+// context passed to Start is cancelled.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
+)
+
+// Options configures the exposition server.
+type Options struct {
+	// Addr is the listen address (e.g. ":9300" or "127.0.0.1:0").
+	Addr string
+	// Registry backs /metrics; nil serves an empty exposition.
+	Registry *obs.Registry
+	// Tracer backs /trace; nil serves an empty stream.
+	Tracer *obstrace.Tracer
+	// Progress, when non-nil, supplies the object served as /progress
+	// JSON. It is called per request and must be safe for concurrent use.
+	Progress func() interface{}
+}
+
+// Server is a live exposition server.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// Handler builds the exposition mux for o. Exported separately so tests
+// can drive it through httptest without binding a port.
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "gmap exposition server\n\n"+
+			"/metrics       Prometheus text\n"+
+			"/progress      sweep progress JSON\n"+
+			"/trace         span log (JSONL)\n"+
+			"/trace/chrome  span log (Chrome trace JSON, load in Perfetto)\n"+
+			"/debug/pprof/  Go profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Registry.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v interface{}
+		if o.Progress != nil {
+			v = o.Progress()
+		}
+		if v == nil {
+			v = struct{}{}
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := o.Tracer.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace/chrome", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="gmap-trace.json"`)
+		if err := o.Tracer.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds o.Addr and serves until ctx is cancelled (or Shutdown is
+// called). It returns once the listener is bound, so Addr() is
+// immediately routable — pass port :0 in tests to get an ephemeral port.
+func Start(ctx context.Context, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs serve: listen %s: %w", o.Addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(o), ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.shutdown()
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops the server, draining in-flight requests, and waits for
+// the serve loop to exit. Safe to call more than once and after ctx
+// cancellation has already stopped the server.
+func (s *Server) Shutdown() error {
+	s.shutdown()
+	<-s.done
+	return s.err
+}
+
+func (s *Server) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Shutdown is idempotent; an already-closed server returns nil.
+	_ = s.srv.Shutdown(ctx)
+}

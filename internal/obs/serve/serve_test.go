@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
+)
+
+func testOptions() Options {
+	reg := obs.New()
+	reg.Counter("runner.jobs_done").Add(3)
+	reg.Gauge("runner.workers").Set(4)
+	tr := obstrace.New()
+	s := tr.Root("eval.sweep", obstrace.String("experiment", "fig6a"))
+	s.Child("runner.job").End()
+	s.End()
+	return Options{
+		Registry: reg,
+		Tracer:   tr,
+		Progress: func() interface{} {
+			return map[string]interface{}{"completed": 3, "total": 10, "eta_s": 1.5}
+		},
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	h := Handler(testOptions())
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE gmap_runner_jobs_done counter",
+		"gmap_runner_jobs_done 3",
+		"gmap_runner_workers 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEmptyRegistry(t *testing.T) {
+	res, body := get(t, Handler(Options{}), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if body != "" {
+		t.Errorf("nil registry should serve an empty exposition, got %q", body)
+	}
+}
+
+func TestProgressRoundTrip(t *testing.T) {
+	res, body := get(t, Handler(testOptions()), "/progress")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var v struct {
+		Completed int     `json:"completed"`
+		Total     int     `json:"total"`
+		ETA       float64 `json:"eta_s"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("progress is not JSON: %v\n%s", err, body)
+	}
+	if v.Completed != 3 || v.Total != 10 || v.ETA != 1.5 {
+		t.Errorf("progress = %+v", v)
+	}
+}
+
+func TestProgressNoProvider(t *testing.T) {
+	res, body := get(t, Handler(Options{}), "/progress")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if strings.TrimSpace(body) != "{}" {
+		t.Errorf("want empty object, got %q", body)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	h := Handler(testOptions())
+	res, body := get(t, h, "/trace")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status = %d", res.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL events, got %d:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("invalid JSONL line %q", line)
+		}
+	}
+	res, body = get(t, h, "/trace/chrome")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/trace/chrome status = %d", res.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("want 2 trace events, got %d", len(doc.TraceEvents))
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	res, body := get(t, Handler(Options{}), "/debug/pprof/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles list:\n%.200s", body)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	h := Handler(Options{})
+	if res, body := get(t, h, "/"); res.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", res.StatusCode, body)
+	}
+	if res, _ := get(t, h, "/nope"); res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", res.StatusCode)
+	}
+}
+
+// TestStartServesAndShutsDownOnCancel runs the real listener: bind :0,
+// hit /metrics over TCP, cancel the context, and verify the port closes.
+func TestStartServesAndShutsDownOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Start(ctx, func() Options { o := testOptions(); o.Addr = "127.0.0.1:0"; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(body), "gmap_runner_jobs_done") {
+		t.Fatalf("live /metrics: status %d body %q", res.StatusCode, body)
+	}
+	cancel()
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// After shutdown the port must refuse connections (give the kernel a
+	// moment on slow CI).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := http.Get("http://" + s.Addr() + "/metrics")
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := Start(context.Background(), Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

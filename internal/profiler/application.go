@@ -84,7 +84,7 @@ func ProfileApplication(app *trace.Application, cfg Config) (*AppProfile, error)
 		// Concatenate the launches' coalesced warp streams: warp w of
 		// launch i is profiled as its own warp, so the per-warp
 		// statistics of every launch merge naturally.
-		coalescer := gpu.NewCoalescer(cfg.LineSize)
+		coalescer := gpu.NewCoalescer(cfg.LineSize).AttachObs(cfg.Obs)
 		var allWarps []trace.WarpTrace
 		for _, tr := range g.traces {
 			warps := coalescer.BuildWarpTraces(tr)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/uteda/gmap/internal/gpu"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/reuse"
 	"github.com/uteda/gmap/internal/stats"
 	"github.com/uteda/gmap/internal/trace"
@@ -37,6 +38,17 @@ type Config struct {
 	// "profile.extract", "profile.cluster") and tags them with pprof
 	// labels. Purely observational; the produced Profile is identical.
 	Obs *obs.Registry
+	// TraceSpan, when non-nil, records the same phases as child spans of
+	// the given span. Write-only, like Obs.
+	TraceSpan *obstrace.Span
+}
+
+// phase runs f under both the obs phase timer and a trace span named
+// name, so the two observability layers stay in lockstep.
+func (c *Config) phase(name string, f func()) {
+	sp := c.TraceSpan.Child(name)
+	c.Obs.Phase(name, f)
+	sp.End()
 }
 
 // DefaultConfig returns the paper's settings: 128B lines, Th = 0.9, up to
@@ -66,8 +78,8 @@ func ProfileKernel(k *trace.KernelTrace, cfg Config) (*Profile, error) {
 		return nil, err
 	}
 	var warps []trace.WarpTrace
-	cfg.Obs.Phase("profile.coalesce", func() {
-		warps = gpu.NewCoalescer(cfg.LineSize).BuildWarpTraces(k)
+	cfg.phase("profile.coalesce", func() {
+		warps = gpu.NewCoalescer(cfg.LineSize).AttachObs(cfg.Obs).BuildWarpTraces(k)
 	})
 	return ProfileWarps(k.Name, k.GridDim, k.BlockDim, warps, cfg)
 }
@@ -85,13 +97,13 @@ func ProfileWarps(name string, gridDim, blockDim int, warps []trace.WarpTrace, c
 	}
 	var seqs [][]int
 	var err error
-	cfg.Obs.Phase("profile.extract", func() {
+	cfg.phase("profile.extract", func() {
 		seqs, err = extractStats(p, warps)
 	})
 	if err != nil {
 		return nil, err
 	}
-	cfg.Obs.Phase("profile.cluster", func() {
+	cfg.phase("profile.cluster", func() {
 		buildPiProfiles(p, warps, seqs, cfg)
 	})
 	return p, p.Validate()

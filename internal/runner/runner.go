@@ -25,6 +25,7 @@ import (
 
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/rng"
 )
 
@@ -78,6 +79,27 @@ type Options struct {
 	// Purely observational: results, ordering and checkpoints are
 	// identical with or without it.
 	Obs *obs.Registry
+	// Trace, when non-nil, records hierarchical spans of the run: a
+	// "runner.run" root, one "runner.worker" lane per pool worker, a
+	// "runner.job" span per executed job with per-attempt children, and
+	// checkpoint-append spans. Purely observational, like Obs.
+	Trace *obstrace.Tracer
+	// TraceSpan nests the run's spans under an existing span (e.g. a
+	// figure sweep) instead of a fresh root; it takes precedence over
+	// Trace for parenting.
+	TraceSpan *obstrace.Span
+}
+
+// runSpan resolves the run's parent span from TraceSpan/Trace.
+func (o *Options) runSpan(jobs, workers int) *obstrace.Span {
+	attrs := []obstrace.Attr{
+		obstrace.Int("jobs", int64(jobs)),
+		obstrace.Int("workers", int64(workers)),
+	}
+	if o.TraceSpan != nil {
+		return o.TraceSpan.Child("runner.run", attrs...)
+	}
+	return o.Trace.Root("runner.run", attrs...)
 }
 
 // fs returns the effective checkpoint filesystem.
@@ -136,6 +158,8 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 	results := make([]Result[R], len(jobs))
 	done := make([]bool, len(jobs))
 	tr := newTracker(len(jobs), workers, opts.OnEvent)
+	runSpan := opts.runSpan(len(jobs), workers)
+	defer runSpan.End()
 	jobTime := opts.Obs.Histogram("runner.job_ns")
 	ckptTime := opts.Obs.Histogram("runner.checkpoint_append_ns")
 	jobsDone := opts.Obs.Counter("runner.jobs_done")
@@ -203,13 +227,23 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker gets its own trace lane so its serially-executed
+			// job spans nest cleanly instead of overlapping siblings'.
+			workerSpan := runSpan.ChildTrack("runner.worker", obstrace.Int("worker", int64(w)))
+			defer workerSpan.End()
 			for idx := range queue {
 				if runCtx.Err() != nil {
 					continue // leave the job unexecuted; marked below
 				}
-				res := executeWithRetry(runCtx, opts, jobs[idx])
+				jobSpan := workerSpan.Child("runner.job", obstrace.String("key", jobs[idx].Key))
+				res := executeWithRetry(runCtx, opts, jobs[idx], jobSpan)
+				jobSpan.Set(obstrace.Int("attempts", int64(res.Attempts)))
+				if res.Err != nil {
+					jobSpan.Set(obstrace.String("error", res.Err.Error()))
+				}
+				jobSpan.End()
 				results[idx] = res
 				done[idx] = true
 				jobTime.Observe(uint64(res.Elapsed))
@@ -218,12 +252,14 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 				}
 				mu.Lock()
 				if res.Err == nil && ckpt != nil && ckptErr == nil {
+					ckptSpan := workerSpan.Child("runner.checkpoint", obstrace.String("key", res.Key))
 					ckptStart := time.Now()
 					if err := ckpt.append(res.Key, res.Value, res.Elapsed); err != nil {
 						ckptErr = fmt.Errorf("runner: checkpoint append to %s failed: %w", opts.Checkpoint, err)
 						cancelRun()
 					}
 					ckptTime.Observe(uint64(time.Since(ckptStart)))
+					ckptSpan.End()
 				}
 				if res.Err != nil {
 					jobsFailed.Inc()
@@ -234,7 +270,7 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 feed:
 	for _, idx := range pending {
@@ -289,11 +325,16 @@ func recordSalvage(reg *obs.Registry, s Salvage) {
 // transient-classified failure up to opts.Retries times. Each attempt
 // gets its own timeout; backoff sleeps are context-aware and excluded
 // from the recorded Elapsed.
-func executeWithRetry[R any](ctx context.Context, opts Options, job Job[R]) Result[R] {
+func executeWithRetry[R any](ctx context.Context, opts Options, job Job[R], jobSpan *obstrace.Span) Result[R] {
 	var res Result[R]
 	var total time.Duration
 	for attempt := 1; ; attempt++ {
-		res = execute(ctx, opts, job, attempt)
+		attemptSpan := jobSpan.Child("runner.attempt", obstrace.Int("attempt", int64(attempt)))
+		res = execute(ctx, opts, job, attempt, attemptSpan)
+		if res.Err != nil {
+			attemptSpan.Set(obstrace.String("error", res.Err.Error()))
+		}
+		attemptSpan.End()
 		total += res.Elapsed
 		res.Attempts = attempt
 		res.Elapsed = total
@@ -338,16 +379,18 @@ func retryDelay(base time.Duration, key string, attempt int) time.Duration {
 // and a timed-out computation can be abandoned without killing the
 // worker. When an injection schedule is set, it is consulted before the
 // job body runs.
-func execute[R any](ctx context.Context, opts Options, job Job[R], attempt int) Result[R] {
+func execute[R any](ctx context.Context, opts Options, job Job[R], attempt int, span *obstrace.Span) Result[R] {
 	res := Result[R]{Key: job.Key}
 	if err := opts.Inject.Check(job.Key, attempt); err != nil {
 		res.Err = err
 		return res
 	}
-	jctx := ctx
+	// The attempt span rides the job context so the body can parent its
+	// own spans (e.g. memsim.run) under this attempt.
+	jctx := obstrace.NewContext(ctx, span)
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		jctx, cancel = context.WithTimeout(jctx, opts.Timeout)
 		defer cancel()
 	}
 	type outcome struct {

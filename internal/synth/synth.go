@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/profiler"
 	"github.com/uteda/gmap/internal/rng"
 	"github.com/uteda/gmap/internal/stats"
@@ -49,6 +50,9 @@ type Options struct {
 	// "synth.generate" phase (pprof label + duration histogram). Purely
 	// observational; the generated proxy is identical.
 	Obs *obs.Registry
+	// TraceSpan, when non-nil, records generation as a "synth.generate"
+	// child span of the given span. Write-only, like Obs.
+	TraceSpan *obstrace.Span
 }
 
 // Ablation switches off individual clone-generation mechanisms so their
@@ -106,9 +110,11 @@ type instSamplers struct {
 func Generate(p *profiler.Profile, opts Options) (*Proxy, error) {
 	var proxy *Proxy
 	var err error
+	sp := opts.TraceSpan.Child("synth.generate")
 	opts.Obs.Phase("synth.generate", func() {
 		proxy, err = generate(p, opts)
 	})
+	sp.End()
 	return proxy, err
 }
 
