@@ -50,6 +50,7 @@ func main() {
 		retryWait   = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
 		fsync       = flag.Bool("fsync", false, "fsync the checkpoint after every append (survives machine crash, not just SIGKILL)")
 		tolerate    = flag.Bool("tolerate", false, "skip-and-report benchmarks whose sweep points fail instead of aborting the figure")
+		noTimings   = flag.Bool("no-timings", false, "omit wall-clock timings from the report so identical runs produce byte-identical output (what gmap-served caches)")
 		summary     = flag.String("summary", "", "write a machine-readable execution summary (JSON, incl. worker utilization) to this file")
 		obsSnap     = flag.String("obs-snapshot", "", "dump the observability registry (runner/profiler/synth instrumentation) as JSON to this file (- for stdout)")
 		serveAddr   = flag.String("serve", "", "serve live observability over HTTP on this address (/metrics, /progress, /trace, /debug/pprof)")
@@ -80,6 +81,7 @@ func main() {
 		RetryBackoff: *retryWait,
 		Fsync:        *fsync,
 		Tolerate:     *tolerate,
+		NoTimings:    *noTimings,
 		JobTimeout:   *jobTimeout,
 		Context:      ctx,
 	}

@@ -1,0 +1,138 @@
+// Command gmap-served is the multi-tenant clone-and-simulate service:
+// an HTTP server over a content-addressed profile/result store and an
+// admission-controlled, weighted-fair job queue.
+//
+// Clients POST profiles (or raw traces) to /v1/profiles and /v1/traces,
+// then submit clone/sim/sweep jobs to /v1/jobs. Identical submissions
+// dedup onto one job and are served from the result cache; admitted
+// jobs are journaled and sweep jobs stream runner checkpoints, so a
+// killed server resumes its backlog on restart. Observability
+// (/metrics, /progress, /trace, /debug/pprof) shares the port.
+//
+// Usage:
+//
+//	gmap-served -store /var/lib/gmap -addr :9400
+//	gmap-served -addr 127.0.0.1:0 -addr-file gmap.addr -tenant-weights team-a=3,team-b=1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
+	"github.com/uteda/gmap/internal/serve"
+	"github.com/uteda/gmap/internal/serve/api"
+	"github.com/uteda/gmap/internal/serve/queue"
+	"github.com/uteda/gmap/internal/serve/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":9400", "listen address; use :0 or 127.0.0.1:0 for an ephemeral port (the bound address is logged)")
+		addrFile   = flag.String("addr-file", "", "write the actually-bound address to this file (for scripts using -addr :0)")
+		storeDir   = flag.String("store", "gmap-store", "content-addressed store root (profiles, results, job journal, checkpoints)")
+		workers    = flag.Int("workers", 1, "jobs executing concurrently")
+		depth      = flag.Int("queue-depth", 64, "admitted-but-not-running backlog bound; beyond it submissions get 429")
+		weights    = flag.String("tenant-weights", "", "per-tenant scheduling weights, e.g. team-a=3,team-b=1 (unlisted tenants weigh 1)")
+		sweepWkrs  = flag.Int("sweep-workers", 0, "runner pool size inside each sweep job (0 = all CPUs)")
+		retries    = flag.Int("retries", 0, "re-execute sweep points failing with a transient error up to N times")
+		retryWait  = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
+		fsync      = flag.Bool("fsync", false, "fsync journal/result/checkpoint writes (survives machine crash, not just SIGKILL)")
+		defTenant  = flag.String("default-tenant", "anonymous", "tenant attributed to requests without an X-Gmap-Tenant header")
+		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w, err := parseWeights(*weights)
+	if err != nil {
+		fatal(err)
+	}
+	reg := obs.New()
+	tracer := obstrace.New()
+	st, err := store.Open(*storeDir, nil, reg)
+	if err != nil {
+		fatal(err)
+	}
+	opts := api.Options{
+		Store: st,
+		Queue: queue.Options{
+			Workers: *workers,
+			Depth:   *depth,
+			Weights: w,
+		},
+		SweepWorkers:  *sweepWkrs,
+		Retries:       *retries,
+		RetryBackoff:  *retryWait,
+		Fsync:         *fsync,
+		Obs:           reg,
+		Tracer:        tracer,
+		DefaultTenant: *defTenant,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...interface{}) {
+			log.Printf("gmap-served: "+format, args...)
+		}
+	}
+	svc, err := api.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.Start(ctx, "gmap-served", *addr, svc.Handler())
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("gmap-served: listening on http://%s (store %s, %d worker(s), depth %d)",
+		srv.Addr(), *storeDir, *workers, *depth)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if err := svc.Start(ctx); err != nil {
+		log.Printf("gmap-served: recovery: %v", err)
+	}
+
+	<-ctx.Done()
+	log.Printf("gmap-served: shutting down (journaled jobs resume on restart)")
+	if err := srv.Shutdown(); err != nil {
+		log.Printf("gmap-served: shutdown: %v", err)
+	}
+	svc.Wait()
+}
+
+// parseWeights parses "a=3,b=1" into a weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want name=weight)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive integer)", val, name)
+		}
+		m[name] = n
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmap-served:", err)
+	os.Exit(1)
+}

@@ -222,8 +222,10 @@ func (o *Options) Ablation() (*AblationResult, error) {
 		o.logf("ablation %-12s full %5.2fpp  bare %5.2fpp (L1, 30-config sweep)",
 			name, row.L1Err[0], row.L1Err[len(row.L1Err)-1])
 	}
-	res.Elapsed = time.Since(start)
-	res.Exec = st
+	if !o.NoTimings {
+		res.Elapsed = time.Since(start)
+		res.Exec = st
+	}
 	return res, nil
 }
 
@@ -257,6 +259,9 @@ func WriteAblation(w io.Writer, r *AblationResult) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "(regenerated in %v)\n\n", r.Elapsed.Round(time.Millisecond))
+	if r.Elapsed > 0 {
+		fmt.Fprintf(w, "(regenerated in %v)\n", r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
 	return nil
 }

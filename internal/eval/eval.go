@@ -90,14 +90,44 @@ type Options struct {
 	// benchmarks whose figure error exceeds Attr.Threshold get a ranked
 	// drill-down report (see attribution.go).
 	Attr *AttrOptions
+	// NoTimings omits wall-clock timings and execution statistics from
+	// figure results and their rendered reports, so two runs with the
+	// same options produce byte-identical report text. The serve layer
+	// relies on this to content-address and cache sweep results; fig8's
+	// measured speedup column is inherently wall-clock and stays.
+	NoTimings bool
 
 	// progressMu serializes Progress delivery; exec accumulates runner
 	// statistics; live mirrors the newest runner event for the HTTP
-	// /progress endpoint. All are pointers so copies of an Options value
-	// share them.
+	// /progress endpoint; strict arms the one-shot resume-mismatch
+	// check. All are pointers so copies of an Options value share them.
 	progressMu *sync.Mutex
 	exec       *execAccum
 	live       *liveProgress
+	strict     *strictResume
+}
+
+// strictResume arms runner.Options.ResumeStrict for exactly the first
+// resumed sweep run through an Options value. Only the first sweep can
+// judge the checkpoint's universe: under "-exp all" every later sweep
+// legitimately sees a checkpoint full of other experiments' keys, while
+// the first sweep's keys encode experiment, seed, scale, scale factor
+// and cores — so resuming with any mismatched option still fails fast
+// instead of silently re-running from zero.
+type strictResume struct {
+	mu   sync.Mutex
+	used bool
+}
+
+// take reports whether this is the first strict-eligible sweep.
+func (s *strictResume) take() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used {
+		return false
+	}
+	s.used = true
+	return true
 }
 
 // execAccum totals runner statistics across every sweep this Options
@@ -133,6 +163,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.live == nil {
 		o.live = &liveProgress{}
+	}
+	if o.strict == nil {
+		o.strict = &strictResume{}
 	}
 }
 
@@ -195,6 +228,7 @@ func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runn
 		RetryBackoff: o.RetryBackoff,
 		Checkpoint:   o.Checkpoint,
 		Resume:       o.Resume,
+		ResumeStrict: o.Resume && o.strict.take(),
 		Fsync:        o.Fsync,
 		FS:           o.FS,
 		Inject:       o.Inject,
@@ -475,8 +509,10 @@ func (o *Options) runFigure(id, title string, metric core.Metric, asRate bool, g
 		return nil, fmt.Errorf("eval %s: every benchmark failed", id)
 	}
 	fig.finalize()
-	fig.Elapsed = time.Since(start)
-	fig.Exec = st
+	if !o.NoTimings {
+		fig.Elapsed = time.Since(start)
+		fig.Exec = st
+	}
 	return fig, nil
 }
 

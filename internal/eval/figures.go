@@ -182,8 +182,10 @@ func (o *Options) Fig7() (*Fig7Result, error) {
 	}
 	for _, fig := range figs {
 		fig.finalize()
-		fig.Elapsed = time.Since(start)
-		fig.Exec = st
+		if !o.NoTimings {
+			fig.Elapsed = time.Since(start)
+			fig.Exec = st
+		}
 	}
 	return res, nil
 }
@@ -299,7 +301,9 @@ func (o *Options) Fig8() (*Fig8Result, error) {
 		o.logf("fig8 %4.0fx accuracy %6.2f%% speedup %5.2fx (request ratio %.2fx)",
 			pt.Factor, pt.Accuracy, pt.Speedup, pt.RequestRatio)
 	}
-	res.Elapsed = time.Since(start)
+	if !o.NoTimings {
+		res.Elapsed = time.Since(start)
+	}
 	return res, nil
 }
 

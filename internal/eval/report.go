@@ -92,7 +92,10 @@ func WriteFig8(w io.Writer, r *Fig8Result) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "(regenerated in %v)\n\n", r.Elapsed.Round(1000000))
+	if r.Elapsed > 0 {
+		fmt.Fprintf(w, "(regenerated in %v)\n", r.Elapsed.Round(1000000))
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -18,13 +18,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
 	"net/http/pprof"
-	"time"
 
 	"github.com/uteda/gmap/internal/obs"
 	obstrace "github.com/uteda/gmap/internal/obs/trace"
+	httpserve "github.com/uteda/gmap/internal/serve"
 )
 
 // Options configures the exposition server.
@@ -40,13 +39,10 @@ type Options struct {
 	Progress func() interface{}
 }
 
-// Server is a live exposition server.
-type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{}
-	err  error
-}
+// Server is a live exposition server. It is the shared serving core of
+// internal/serve — the same listen/shutdown lifecycle backs the
+// clone-and-simulate service (cmd/gmap-served).
+type Server = httpserve.Server
 
 // Handler builds the exposition mux for o. Exported separately so tests
 // can drive it through httptest without binding a port.
@@ -110,48 +106,8 @@ func Handler(o Options) http.Handler {
 
 // Start binds o.Addr and serves until ctx is cancelled (or Shutdown is
 // called). It returns once the listener is bound, so Addr() is
-// immediately routable — pass port :0 in tests to get an ephemeral port.
+// immediately routable — pass port :0 to get an ephemeral port and read
+// the actually-bound one back from Addr().
 func Start(ctx context.Context, o Options) (*Server, error) {
-	ln, err := net.Listen("tcp", o.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs serve: listen %s: %w", o.Addr, err)
-	}
-	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: Handler(o), ReadHeaderTimeout: 10 * time.Second},
-		done: make(chan struct{}),
-	}
-	go func() {
-		defer close(s.done)
-		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.err = err
-		}
-	}()
-	go func() {
-		select {
-		case <-ctx.Done():
-			s.shutdown()
-		case <-s.done:
-		}
-	}()
-	return s, nil
-}
-
-// Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Shutdown stops the server, draining in-flight requests, and waits for
-// the serve loop to exit. Safe to call more than once and after ctx
-// cancellation has already stopped the server.
-func (s *Server) Shutdown() error {
-	s.shutdown()
-	<-s.done
-	return s.err
-}
-
-func (s *Server) shutdown() {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	// Shutdown is idempotent; an already-closed server returns nil.
-	_ = s.srv.Shutdown(ctx)
+	return httpserve.Start(ctx, "obs serve", o.Addr, Handler(o))
 }

@@ -47,6 +47,10 @@ type Salvage struct {
 	TornBytes int64
 	// Truncated reports whether the torn tail was cut from the file.
 	Truncated bool
+	// FirstKey is the first valid key recorded in the file — a sample of
+	// the checkpoint's job universe, used to make resume-mismatch errors
+	// concrete.
+	FirstKey string
 	// Compacted reports whether the file was rewritten to one line per
 	// key.
 	Compacted bool
@@ -108,6 +112,9 @@ func scanCheckpoint(fsys fault.FS, path string) (*ckptScan, error) {
 	}
 	sc.salvage.Entries = len(sc.entries)
 	sc.salvage.TornBytes = sc.size - sc.endOff
+	if len(sc.order) > 0 {
+		sc.salvage.FirstKey = sc.order[0]
+	}
 	return sc, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -111,6 +112,82 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 	}
 	if executed.Load() != 0 || stats.Skipped != 4 {
 		t.Errorf("torn line broke resume: executed=%d stats=%+v", executed.Load(), stats)
+	}
+}
+
+func TestResumeStrictRejectsForeignCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var executed atomic.Int32
+	if _, _, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path}, countingJobs(4, &executed, -1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different job universe: zero keys overlap with the checkpoint.
+	foreign := make([]Job[int], 3)
+	for i := range foreign {
+		i := i
+		foreign[i] = Job[int]{
+			Key: JobKey("other", fmt.Sprint(i)),
+			Run: func(ctx context.Context) (int, error) { return i, nil },
+		}
+	}
+	executed.Store(0)
+	_, _, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true, ResumeStrict: true}, foreign)
+	if err == nil {
+		t.Fatal("strict resume accepted a checkpoint from a different sweep")
+	}
+	for _, want := range []string{"resume mismatch", JobKey("ckpt", "0"), JobKey("other", "0")} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestResumeStrictAllowsPartialOverlap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var executed atomic.Int32
+	if _, _, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path}, countingJobs(4, &executed, -1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Half the keys match the checkpoint, half are new: a legitimately
+	// extended sweep must not error, and only new jobs execute.
+	jobs := countingJobs(4, &executed, -1)
+	for i := 0; i < 2; i++ {
+		i := i
+		jobs = append(jobs, Job[int]{
+			Key: JobKey("extra", fmt.Sprint(i)),
+			Run: func(ctx context.Context) (int, error) {
+				executed.Add(1)
+				return i, nil
+			},
+		})
+	}
+	executed.Store(0)
+	_, stats, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true, ResumeStrict: true}, jobs)
+	if err != nil {
+		t.Fatalf("strict resume rejected a partially overlapping sweep: %v", err)
+	}
+	if stats.Skipped != 4 || executed.Load() != 2 {
+		t.Errorf("skipped=%d executed=%d, want 4 skipped / 2 executed", stats.Skipped, executed.Load())
+	}
+}
+
+func TestResumeStrictIgnoresEmptyCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.ckpt")
+	var executed atomic.Int32
+	_, stats, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true, ResumeStrict: true},
+		countingJobs(3, &executed, -1))
+	if err != nil {
+		t.Fatalf("strict resume errored on a fresh run with no checkpoint: %v", err)
+	}
+	if stats.Completed != 3 {
+		t.Errorf("stats = %+v", stats)
 	}
 }
 

@@ -59,6 +59,15 @@ type Options struct {
 	// appending; checkpoints dominated by re-recorded keys are compacted
 	// through an atomic rename.
 	Resume bool
+	// ResumeStrict upgrades a total resume mismatch from a silent full
+	// re-run to an error: if the checkpoint holds entries but not one of
+	// them matches any of this run's job keys, the checkpoint was
+	// recorded by a different sweep (other experiment, seed, scale, ...)
+	// and Run fails naming the first mismatched job key and a sample
+	// checkpoint key, instead of quietly recomputing everything and
+	// interleaving a second universe into the file. A partial overlap is
+	// a normal resume and never errors.
+	ResumeStrict bool
 	// Fsync, when set, syncs the checkpoint file after every append,
 	// extending the durability guarantee from process death to machine
 	// crash at the cost of one fsync per job.
@@ -173,12 +182,14 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 	// append-safe again: a torn tail is truncated so the next entry
 	// cannot glue onto it and be lost on a later resume.
 	var restored map[string]json.RawMessage
+	var restoredSample string
 	if opts.Resume && opts.Checkpoint != "" {
 		m, salvage, err := SalvageCheckpoint(opts.fs(), opts.Checkpoint)
 		if err != nil {
 			return results, tr.stats(), err
 		}
 		restored = m
+		restoredSample = salvage.FirstKey
 		recordSalvage(opts.Obs, salvage)
 		if salvage.Lines >= compactWasteThreshold && salvage.Lines > 2*salvage.Entries {
 			if _, err := CompactCheckpoint(opts.fs(), opts.Checkpoint); err != nil {
@@ -188,8 +199,10 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 		}
 	}
 	var pending []int
+	matched := 0
 	for i := range jobs {
 		if raw, ok := restored[jobs[i].Key]; ok {
+			matched++
 			var v R
 			if err := json.Unmarshal(raw, &v); err == nil {
 				results[i] = Result[R]{Key: jobs[i].Key, Value: v, Skipped: true}
@@ -202,6 +215,12 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 			// fall through and recompute.
 		}
 		pending = append(pending, i)
+	}
+	if opts.ResumeStrict && len(restored) > 0 && len(jobs) > 0 && matched == 0 {
+		opts.Obs.Counter("runner.resume_mismatches").Inc()
+		return results, tr.stats(), fmt.Errorf(
+			"runner: resume mismatch: checkpoint %s holds %d recorded job(s) (e.g. key %s) but none match this run's %d job(s) (first job key %s); it was recorded by a different sweep — point -checkpoint at the matching file or remove it",
+			opts.Checkpoint, len(restored), restoredSample, len(jobs), jobs[0].Key)
 	}
 
 	var ckpt *checkpointWriter

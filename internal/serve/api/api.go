@@ -1,0 +1,587 @@
+// Package api is the clone-and-simulate service: a multi-tenant HTTP
+// front end over the content-addressed store (internal/serve/store) and
+// the weighted fair admission queue (internal/serve/queue).
+//
+// Clients upload profiles (or raw traces, profiled server-side), then
+// submit jobs referencing them by content hash. Job identity is the
+// digest of (profile hash × config hash), so resubmitting the same work
+// dedups against the in-flight job and, once finished, is served
+// straight from the result cache without consuming a queue slot.
+// Admitted jobs are journaled before they are queued and sweep jobs
+// stream runner checkpoints, so a killed server resumes its backlog on
+// restart and finishes interrupted sweeps from the last completed point.
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/fault"
+	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
+	"github.com/uteda/gmap/internal/serve/queue"
+	"github.com/uteda/gmap/internal/serve/store"
+	"github.com/uteda/gmap/internal/synth"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// Job statuses, as reported by GET /v1/jobs/{id}.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Store is the content-addressed profile/result store (required).
+	Store *store.Store
+	// Queue configures admission: worker slots, backlog depth and
+	// per-tenant weights. Obs is overridden with Options.Obs.
+	Queue queue.Options
+	// SweepWorkers is the runner pool size inside each sweep job
+	// (0 = every CPU). Clone and sim jobs are single simulations and
+	// ignore it.
+	SweepWorkers int
+	// Retries and RetryBackoff configure transient-failure retry for
+	// sweep simulation points (see eval.Options).
+	Retries      int
+	RetryBackoff time.Duration
+	// Fsync hardens journal, result and checkpoint writes against
+	// machine crashes rather than just process kills.
+	Fsync bool
+	// FS routes store and checkpoint I/O; nil selects the real
+	// filesystem.
+	FS fault.FS
+	// Obs collects service metrics (serve.api.*, serve.queue.*,
+	// serve.store.*, serve.tenant.*) into one registry, exposed at
+	// /metrics alongside the simulation instrumentation.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records spans for sweep jobs, exposed at
+	// /trace.
+	Tracer *obstrace.Tracer
+	// DefaultTenant is the tenant attributed to requests without an
+	// X-Gmap-Tenant header. Default "anonymous".
+	DefaultTenant string
+	// Logf, when non-nil, receives one line per service event (job
+	// admitted/finished, recovery, rejections).
+	Logf func(format string, args ...interface{})
+}
+
+// Service is the clone-and-simulate service. Create with New, then
+// Start; serve Handler over HTTP.
+type Service struct {
+	o  Options
+	st *store.Store
+	q  *queue.Queue
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+}
+
+// jobState is the in-memory record of one submitted job. Fields after
+// mu are guarded by it.
+type jobState struct {
+	id          string
+	tenant      string
+	spec        JobSpec
+	profileHash string
+	configHash  string
+
+	mu       sync.Mutex
+	status   string
+	cached   bool
+	errMsg   string
+	created  time.Time
+	finished time.Time
+	canceled bool          // user asked for cancellation
+	evalOpts *eval.Options // live while a sweep runs, for /progress
+}
+
+// New builds a Service. The queue is not started; call Start.
+func New(o Options) (*Service, error) {
+	if o.Store == nil {
+		return nil, fmt.Errorf("serve/api: Options.Store is required")
+	}
+	if o.DefaultTenant == "" {
+		o.DefaultTenant = "anonymous"
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
+	}
+	qo := o.Queue
+	qo.Obs = o.Obs
+	s := &Service{
+		o:    o,
+		st:   o.Store,
+		q:    queue.New(qo),
+		jobs: make(map[string]*jobState),
+	}
+	return s, nil
+}
+
+// Start launches the queue workers under ctx and re-enqueues journaled
+// jobs that never finished (crash recovery). Cancelling ctx drains the
+// queue; journaled jobs interrupted by shutdown are recovered by the
+// next Start.
+func (s *Service) Start(ctx context.Context) error {
+	s.q.Start(ctx)
+	n, err := s.recover()
+	if n > 0 {
+		s.logf("recovered %d journaled job(s) into the queue", n)
+	}
+	return err
+}
+
+// Wait blocks until the queue has drained after context cancellation.
+func (s *Service) Wait() { s.q.Wait() }
+
+// Queue exposes queue statistics for admission feedback.
+func (s *Service) Queue() *queue.Queue { return s.q }
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.o.Logf != nil {
+		s.o.Logf(format, args...)
+	}
+}
+
+func (s *Service) counter(name string) *obs.Counter {
+	return s.o.Obs.Counter(name)
+}
+
+// submit admits one normalized spec for tenant and returns its job
+// state. Cache hits (cached=true: the result already exists, in memory
+// or on disk) and duplicate in-flight submissions return immediately
+// with admitted=false; a full queue returns queue.ErrFull.
+func (s *Service) submit(tenant string, spec JobSpec) (js *jobState, admitted, cached bool, err error) {
+	profileHash, configHash, id, err := spec.hashes()
+	if err != nil {
+		return nil, false, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// In-flight (or remembered) job with the same identity: join it.
+	if cur, ok := s.jobs[id]; ok {
+		cur.mu.Lock()
+		st := cur.status
+		cur.mu.Unlock()
+		if st != StatusFailed && st != StatusCanceled {
+			if st == StatusDone {
+				s.counter("serve.api.cache_hits").Inc()
+				return cur, false, true, nil
+			}
+			s.counter("serve.api.joined_inflight").Inc()
+			return cur, false, false, nil
+		}
+		// Failed or canceled earlier: fall through and resubmit fresh.
+	}
+
+	js = &jobState{
+		id:          id,
+		tenant:      tenant,
+		spec:        spec,
+		profileHash: profileHash,
+		configHash:  configHash,
+		status:      StatusQueued,
+		created:     time.Now(),
+	}
+
+	// Result already on disk (this process or a predecessor): serve it
+	// from the cache without touching the queue.
+	if _, ok, rerr := s.st.GetResult(profileHash, configHash); rerr == nil && ok {
+		s.counter("serve.api.cache_hits").Inc()
+		js.status = StatusDone
+		js.cached = true
+		js.finished = js.created
+		s.jobs[id] = js
+		return js, false, true, nil
+	}
+	s.counter("serve.api.cache_misses").Inc()
+
+	// Journal first, then enqueue: a job is only ever queued with its
+	// spec durably on disk, so a crash between the two re-enqueues it
+	// on restart instead of losing it.
+	env := jobEnvelope{Spec: spec, Tenant: tenant, ProfileHash: profileHash, ConfigHash: configHash}
+	if err := s.st.PutJobSpec(id, env); err != nil {
+		return nil, false, false, fmt.Errorf("journal job: %w", err)
+	}
+	if err := s.enqueueLocked(js); err != nil {
+		if derr := s.st.DeleteJobSpec(id); derr != nil {
+			s.logf("retire journal %s after rejection: %v", id, derr)
+		}
+		return nil, false, false, err
+	}
+	return js, true, false, nil
+}
+
+// enqueueLocked registers js and hands it to the queue. Caller holds
+// s.mu.
+func (s *Service) enqueueLocked(js *jobState) error {
+	err := s.q.Submit(queue.Job{
+		ID:     js.id,
+		Tenant: js.tenant,
+		Run:    func(ctx context.Context) { s.execute(ctx, js) },
+	})
+	if err != nil {
+		return err
+	}
+	s.jobs[js.id] = js
+	return nil
+}
+
+// execute runs one admitted job to completion. It is the queue worker's
+// body: by the time it runs, the job's spec is journaled and its inputs
+// are pinned in the store.
+func (s *Service) execute(ctx context.Context, js *jobState) {
+	js.mu.Lock()
+	if js.status == StatusCanceled {
+		// cancel already finalized this job before dispatch.
+		js.mu.Unlock()
+		return
+	}
+	if js.canceled {
+		js.status = StatusCanceled
+		js.finished = time.Now()
+		js.mu.Unlock()
+		s.counter("serve.api.jobs_canceled").Inc()
+		s.retireJournal(js.id)
+		return
+	}
+	js.status = StatusRunning
+	js.mu.Unlock()
+
+	data, err := s.run(ctx, js)
+	now := time.Now()
+	if err == nil {
+		if perr := s.st.PutResult(js.profileHash, js.configHash, data); perr != nil {
+			err = fmt.Errorf("commit result: %w", perr)
+		}
+	}
+
+	js.mu.Lock()
+	js.evalOpts = nil
+	js.finished = now
+	switch {
+	case err == nil:
+		js.status = StatusDone
+		js.mu.Unlock()
+		s.counter("serve.api.jobs_done").Inc()
+		s.retireJournal(js.id)
+		s.logf("job %s (%s, tenant %s) done", js.id, js.spec.Kind, js.tenant)
+	case js.canceled:
+		js.status = StatusCanceled
+		js.errMsg = "canceled"
+		js.mu.Unlock()
+		s.counter("serve.api.jobs_canceled").Inc()
+		s.retireJournal(js.id)
+		s.logf("job %s canceled", js.id)
+	case ctx.Err() != nil:
+		// Shutdown, not user cancellation: keep the journal (and any
+		// sweep checkpoint) so the next Start resumes the job.
+		js.status = StatusQueued
+		js.errMsg = ""
+		js.mu.Unlock()
+		s.counter("serve.api.jobs_interrupted").Inc()
+		s.logf("job %s interrupted by shutdown; journal retained for restart", js.id)
+	default:
+		js.status = StatusFailed
+		js.errMsg = err.Error()
+		js.mu.Unlock()
+		s.counter("serve.api.jobs_failed").Inc()
+		s.retireJournal(js.id)
+		s.logf("job %s failed: %v", js.id, err)
+	}
+}
+
+// retireJournal removes a finished job's spec (and checkpoint) from the
+// store; the result, if any, is already committed.
+func (s *Service) retireJournal(id string) {
+	if err := s.st.DeleteJobSpec(id); err != nil {
+		s.logf("retire journal %s: %v", id, err)
+	}
+}
+
+// run produces the result bytes for one job.
+func (s *Service) run(ctx context.Context, js *jobState) ([]byte, error) {
+	switch js.spec.Kind {
+	case KindClone:
+		return s.runClone(js)
+	case KindSim:
+		return s.runSim(js)
+	case KindSweep:
+		return s.runSweep(ctx, js)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", js.spec.Kind)
+	}
+}
+
+// cloneResult is the stored result of a clone job.
+type cloneResult struct {
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	GridDim  int    `json:"grid_dim"`
+	BlockDim int    `json:"block_dim"`
+	Warps    int    `json:"warps"`
+	Requests int    `json:"requests"`
+	// ProxyB64 is the generated proxy in the binary warp-trace format
+	// (trace.WriteWarpsBinary), base64-encoded for JSON transport.
+	ProxyB64 string `json:"proxy_b64"`
+}
+
+func (s *Service) generate(js *jobState) (*synth.Proxy, error) {
+	p, err := s.st.GetProfile(js.spec.Profile)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(p, synth.Options{
+		Seed:           js.spec.Seed,
+		ScaleFactor:    js.spec.ScaleFactor,
+		Obfuscate:      js.spec.Obfuscate,
+		ObfuscationKey: js.spec.Seed,
+		Obs:            s.o.Obs,
+	})
+}
+
+func (s *Service) runClone(js *jobState) ([]byte, error) {
+	proxy, err := s.generate(js)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = trace.WriteWarpsBinary(&buf, &trace.WarpFile{
+		Name:     proxy.Name,
+		GridDim:  proxy.GridDim,
+		BlockDim: proxy.BlockDim,
+		Warps:    proxy.Warps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cloneResult{
+		Kind:     KindClone,
+		Name:     proxy.Name,
+		GridDim:  proxy.GridDim,
+		BlockDim: proxy.BlockDim,
+		Warps:    len(proxy.Warps),
+		Requests: proxy.Requests,
+		ProxyB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	})
+}
+
+// simResult is the stored result of a sim job.
+type simResult struct {
+	Kind     string         `json:"kind"`
+	Name     string         `json:"name"`
+	Warps    int            `json:"warps"`
+	Requests int            `json:"requests"`
+	Metrics  memsim.Metrics `json:"metrics"`
+}
+
+func (s *Service) runSim(js *jobState) ([]byte, error) {
+	proxy, err := s.generate(js)
+	if err != nil {
+		return nil, err
+	}
+	cfg := memsim.DefaultConfig()
+	if js.spec.Cores > 0 {
+		cfg.NumCores = js.spec.Cores
+	}
+	sim, err := memsim.New(proxy.Warps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(simResult{
+		Kind:     KindSim,
+		Name:     proxy.Name,
+		Warps:    len(proxy.Warps),
+		Requests: proxy.Requests,
+		Metrics:  m,
+	})
+}
+
+// sweepResult is the stored result of a sweep job: the rendered report,
+// byte-identical to gmap-eval -no-timings with the same options.
+type sweepResult struct {
+	Kind       string `json:"kind"`
+	Experiment string `json:"experiment"`
+	Report     string `json:"report"`
+}
+
+func (s *Service) runSweep(ctx context.Context, js *jobState) ([]byte, error) {
+	opts := &eval.Options{
+		Benchmarks:   js.spec.Benchmarks,
+		Scale:        js.spec.Scale,
+		ScaleFactor:  js.spec.ScaleFactor,
+		Seed:         js.spec.Seed,
+		Cores:        js.spec.Cores,
+		Workers:      s.o.SweepWorkers,
+		Checkpoint:   s.st.CheckpointPath(js.id),
+		Resume:       true,
+		Retries:      s.o.Retries,
+		RetryBackoff: s.o.RetryBackoff,
+		Fsync:        s.o.Fsync,
+		FS:           s.o.FS,
+		Context:      ctx,
+		Obs:          s.o.Obs,
+		Trace:        s.o.Tracer,
+		NoTimings:    true,
+	}
+	js.mu.Lock()
+	js.evalOpts = opts
+	js.mu.Unlock()
+	var buf bytes.Buffer
+	if err := opts.Run(&buf, js.spec.Experiment); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sweepResult{
+		Kind:       KindSweep,
+		Experiment: js.spec.Experiment,
+		Report:     buf.String(),
+	})
+}
+
+// cancel marks a job canceled. Queued jobs are finalized immediately;
+// running jobs get their context cancelled and finalize in execute.
+func (s *Service) cancel(id string) (found bool) {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	js.mu.Lock()
+	switch js.status {
+	case StatusQueued:
+		js.canceled = true
+		js.mu.Unlock()
+		// Remove from the backlog. If the queue already dispatched it,
+		// execute observes canceled and finalizes; otherwise finalize
+		// here.
+		if s.q.Cancel(id) {
+			js.mu.Lock()
+			if js.status == StatusQueued {
+				js.status = StatusCanceled
+				js.finished = time.Now()
+				js.mu.Unlock()
+				s.counter("serve.api.jobs_canceled").Inc()
+				s.retireJournal(id)
+			} else {
+				js.mu.Unlock()
+			}
+		}
+		return true
+	case StatusRunning:
+		js.canceled = true
+		js.mu.Unlock()
+		s.q.Cancel(id)
+		return true
+	default:
+		js.mu.Unlock()
+		return true
+	}
+}
+
+// recover re-enqueues every journaled job that has no committed result:
+// the backlog of a predecessor process that was killed. Jobs whose
+// result already exists (crash between PutResult and journal deletion)
+// are retired directly.
+func (s *Service) recover() (int, error) {
+	specs, err := s.st.ListJobSpecs()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range sortedIDs(specs) {
+		var env jobEnvelope
+		if err := json.Unmarshal(specs[id], &env); err != nil {
+			s.counter("serve.api.recovery_bad_specs").Inc()
+			s.logf("recovery: job %s has an unreadable envelope: %v", id, err)
+			continue
+		}
+		if _, ok, rerr := s.st.GetResult(env.ProfileHash, env.ConfigHash); rerr == nil && ok {
+			s.retireJournal(id)
+			continue
+		}
+		js := &jobState{
+			id:          id,
+			tenant:      env.Tenant,
+			spec:        env.Spec,
+			profileHash: env.ProfileHash,
+			configHash:  env.ConfigHash,
+			status:      StatusQueued,
+			created:     time.Now(),
+		}
+		s.mu.Lock()
+		err := s.enqueueLocked(js)
+		s.mu.Unlock()
+		if err != nil {
+			// Queue full: leave the journal for the next restart.
+			s.logf("recovery: job %s not re-admitted (%v); journal retained", id, err)
+			continue
+		}
+		s.counter("serve.api.recovered_jobs").Inc()
+		n++
+	}
+	return n, nil
+}
+
+// jobView is the wire form of a job's state.
+type jobView struct {
+	Job         string `json:"job"`
+	Kind        string `json:"kind"`
+	Status      string `json:"status"`
+	Tenant      string `json:"tenant"`
+	Cached      bool   `json:"cached,omitempty"`
+	Error       string `json:"error,omitempty"`
+	ProfileHash string `json:"profile_hash"`
+	ConfigHash  string `json:"config_hash"`
+	Experiment  string `json:"experiment,omitempty"`
+	ResultURL   string `json:"result_url,omitempty"`
+}
+
+func (js *jobState) view() jobView {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	v := jobView{
+		Job:         js.id,
+		Kind:        js.spec.Kind,
+		Status:      js.status,
+		Tenant:      js.tenant,
+		Cached:      js.cached,
+		Error:       js.errMsg,
+		ProfileHash: js.profileHash,
+		ConfigHash:  js.configHash,
+		Experiment:  js.spec.Experiment,
+	}
+	if js.status == StatusDone {
+		v.ResultURL = "/v1/jobs/" + js.id + "/result"
+	}
+	return v
+}
+
+// progress returns a sweep job's live progress, or nil.
+func (js *jobState) progress() interface{} {
+	js.mu.Lock()
+	opts := js.evalOpts
+	js.mu.Unlock()
+	if opts == nil {
+		return nil
+	}
+	p := opts.ProgressSnapshot()
+	return &p
+}

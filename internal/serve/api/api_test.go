@@ -1,0 +1,495 @@
+package api_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/profiler"
+	"github.com/uteda/gmap/internal/serve"
+	"github.com/uteda/gmap/internal/serve/api"
+	"github.com/uteda/gmap/internal/serve/queue"
+	"github.com/uteda/gmap/internal/serve/store"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+// env is one live service over a real listener.
+type env struct {
+	t      *testing.T
+	root   string
+	reg    *obs.Registry
+	svc    *api.Service
+	srv    *serve.Server
+	cancel context.CancelFunc
+}
+
+func newEnv(t *testing.T, root string, qopts queue.Options, start bool) *env {
+	t.Helper()
+	reg := obs.New()
+	st, err := store.Open(root, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := api.New(api.Options{
+		Store:        st,
+		Queue:        qopts,
+		SweepWorkers: 2,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := serve.Start(ctx, "api test", "127.0.0.1:0", svc.Handler())
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	e := &env{t: t, root: root, reg: reg, svc: svc, srv: srv, cancel: cancel}
+	if start {
+		if err := svc.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		cancel()
+		_ = srv.Shutdown()
+		svc.Wait()
+	})
+	return e
+}
+
+// shutdown stops the env's service and server, draining workers.
+func (e *env) shutdown() {
+	e.cancel()
+	_ = e.srv.Shutdown()
+	e.svc.Wait()
+}
+
+func (e *env) url(path string) string { return e.srv.URL() + path }
+
+// do issues a request and decodes the JSON response body into out
+// (skipped when out is nil), returning the status code.
+func (e *env) do(method, path string, body io.Reader, out interface{}, hdr map[string]string) (int, http.Header) {
+	e.t.Helper()
+	req, err := http.NewRequest(method, e.url(path), body)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			e.t.Fatalf("%s %s: decoding %q: %v", method, path, data, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// jobView mirrors the wire form the handlers emit.
+type jobView struct {
+	Job         string `json:"job"`
+	Kind        string `json:"kind"`
+	Status      string `json:"status"`
+	Tenant      string `json:"tenant"`
+	Cached      bool   `json:"cached"`
+	Error       string `json:"error"`
+	ProfileHash string `json:"profile_hash"`
+	ConfigHash  string `json:"config_hash"`
+	ResultURL   string `json:"result_url"`
+}
+
+// uploadProfile profiles the named builtin benchmark locally and POSTs
+// the profile, returning its content hash.
+func (e *env) uploadProfile(t *testing.T, benchmark string) string {
+	t.Helper()
+	spec, ok := workloads.ByName(benchmark)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", benchmark)
+	}
+	k, err := spec.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profiler.ProfileKernel(k, profiler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Profile string `json:"profile"`
+	}
+	code, _ := e.do("POST", "/v1/profiles", &buf, &resp, nil)
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("profile upload: status %d", code)
+	}
+	return resp.Profile
+}
+
+// waitDone polls a job until it reaches done (or fails the test on a
+// terminal non-done status or timeout).
+func (e *env) waitDone(t *testing.T, id string, timeout time.Duration) jobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v jobView
+		code, _ := e.do("GET", "/v1/jobs/"+id, nil, &v, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll job %s: status %d", id, code)
+		}
+		switch v.Status {
+		case api.StatusDone:
+			return v
+		case api.StatusFailed, api.StatusCanceled:
+			t.Fatalf("job %s reached %s: %s", id, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEndToEndCloneAndCache drives the full loop over a real listener:
+// upload profile → submit clone → poll → fetch result, then resubmits
+// the identical spec and asserts it is served from the result cache
+// without consuming a queue slot.
+func TestEndToEndCloneAndCache(t *testing.T) {
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 8}, true)
+	hash := e.uploadProfile(t, "aes")
+
+	specJSON := fmt.Sprintf(`{"kind":"clone","profile":%q,"seed":7,"scale_factor":4}`, hash)
+	var sub jobView
+	code, _ := e.do("POST", "/v1/jobs", strings.NewReader(specJSON), &sub, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if sub.Status != api.StatusQueued && sub.Status != api.StatusRunning {
+		t.Fatalf("first submit status %q", sub.Status)
+	}
+	done := e.waitDone(t, sub.Job, 30*time.Second)
+	if done.ResultURL == "" {
+		t.Fatal("done job carries no result URL")
+	}
+
+	var result struct {
+		Kind     string `json:"kind"`
+		Name     string `json:"name"`
+		Warps    int    `json:"warps"`
+		Requests int    `json:"requests"`
+		ProxyB64 string `json:"proxy_b64"`
+	}
+	code, _ = e.do("GET", done.ResultURL, nil, &result, nil)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: status %d", code)
+	}
+	if result.Kind != "clone" || result.Warps == 0 || result.ProxyB64 == "" {
+		t.Fatalf("implausible clone result: %+v", result)
+	}
+
+	admittedBefore := e.reg.CounterTotal("serve.queue.admitted")
+	hitsBefore := e.reg.CounterTotal("serve.api.cache_hits")
+
+	// Bit-for-bit identical result on resubmission, served from cache.
+	first, err := os.ReadFile(resultFile(e.root, done))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resub jobView
+	code, _ = e.do("POST", "/v1/jobs", strings.NewReader(specJSON), &resub, nil)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d (want 200 cache hit)", code)
+	}
+	if resub.Status != api.StatusDone || !resub.Cached {
+		t.Fatalf("resubmit: status=%s cached=%v, want done from cache", resub.Status, resub.Cached)
+	}
+	if resub.Job != sub.Job {
+		t.Fatalf("identical spec mapped onto a different job: %s vs %s", resub.Job, sub.Job)
+	}
+	second, err := os.ReadFile(resultFile(e.root, done))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached result bytes changed across resubmission")
+	}
+	if got := e.reg.CounterTotal("serve.queue.admitted"); got != admittedBefore {
+		t.Fatalf("resubmission consumed a queue slot: admitted %d -> %d", admittedBefore, got)
+	}
+	if got := e.reg.CounterTotal("serve.api.cache_hits"); got != hitsBefore+1 {
+		t.Fatalf("cache_hits %d -> %d, want +1", hitsBefore, got)
+	}
+
+	// A different seed is a different config hash: new job, no cache hit.
+	var other jobView
+	code, _ = e.do("POST", "/v1/jobs", strings.NewReader(
+		fmt.Sprintf(`{"kind":"clone","profile":%q,"seed":8,"scale_factor":4}`, hash)), &other, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("different-seed submit: status %d", code)
+	}
+	if other.Job == sub.Job {
+		t.Fatal("different seed collided onto the same job id")
+	}
+	e.waitDone(t, other.Job, 30*time.Second)
+}
+
+// resultFile locates the on-disk cache entry for a done job.
+func resultFile(root string, v jobView) string {
+	return root + "/results/" + v.ProfileHash + "." + v.ConfigHash + ".json"
+}
+
+// TestSweepMatchesDirectEval submits a sweep job and asserts the
+// service's report is byte-identical to running the evaluation harness
+// directly with the same options — the cache-transparency guarantee.
+func TestSweepMatchesDirectEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep e2e is seconds-long; skipped under -short")
+	}
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 8}, true)
+	spec := `{"kind":"sweep","experiment":"table1","benchmarks":["aes","bfs"],"seed":1,"scale_factor":4}`
+	var sub jobView
+	code, _ := e.do("POST", "/v1/jobs", strings.NewReader(spec), &sub, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := e.waitDone(t, sub.Job, 3*time.Minute)
+
+	var result struct {
+		Kind       string `json:"kind"`
+		Experiment string `json:"experiment"`
+		Report     string `json:"report"`
+	}
+	code, _ = e.do("GET", done.ResultURL, nil, &result, nil)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: status %d", code)
+	}
+
+	var direct bytes.Buffer
+	opts := eval.Options{
+		Benchmarks:  []string{"aes", "bfs"},
+		Seed:        1,
+		Scale:       1,
+		ScaleFactor: 4,
+		NoTimings:   true,
+	}
+	if err := opts.Run(&direct, "table1"); err != nil {
+		t.Fatal(err)
+	}
+	if result.Report != direct.String() {
+		t.Fatalf("service report differs from direct evaluation:\n--- service ---\n%s\n--- direct ---\n%s", result.Report, direct.String())
+	}
+}
+
+// TestBackpressure429 is the admission-control contract: with depth 1
+// and a held worker, a burst of 100 concurrent distinct submissions
+// gets exactly one admission and 99 rejections carrying 429 +
+// Retry-After.
+func TestBackpressure429(t *testing.T) {
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 1}, false) // queue not started: nothing drains
+	hash := e.uploadProfile(t, "aes")
+
+	const burst = 100
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	retryAfter := make([]string, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := fmt.Sprintf(`{"kind":"clone","profile":%q,"seed":%d}`, hash, i+1)
+			code, hdr := e.do("POST", "/v1/jobs", strings.NewReader(spec), nil, nil)
+			codes[i] = code
+			retryAfter[i] = hdr.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	admitted, rejected := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusAccepted:
+			admitted++
+		case http.StatusTooManyRequests:
+			rejected++
+			if retryAfter[i] == "" {
+				t.Fatalf("429 response %d carried no Retry-After", i)
+			}
+		default:
+			t.Fatalf("submission %d: unexpected status %d", i, code)
+		}
+	}
+	if admitted != 1 || rejected != burst-1 {
+		t.Fatalf("admitted=%d rejected=%d, want 1/%d", admitted, rejected, burst-1)
+	}
+	// Rejected submissions must not leave journal debris behind: exactly
+	// the one admitted job remains journaled.
+	entries, err := os.ReadDir(e.root + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("journal holds %d entries after the burst, want 1", len(entries))
+	}
+}
+
+// TestSubmitValidation: malformed specs are rejected with 400 before
+// touching the queue.
+func TestSubmitValidation(t *testing.T) {
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 4}, true)
+	cases := []string{
+		`{"kind":"teleport"}`,
+		`{"kind":"clone"}`,
+		fmt.Sprintf(`{"kind":"clone","profile":%q}`, strings.Repeat("ab", 32)),
+		`{"kind":"sweep","experiment":"fig99"}`,
+		`{"kind":"sweep","experiment":"fig6a","benchmarks":["nonesuch"]}`,
+		`{"kind":"sweep","experiment":"fig6a","profile":"abc"}`,
+		`{"kind":"clone","profile":"x","unknown_field":1}`,
+	}
+	for _, c := range cases {
+		var resp struct {
+			Error string `json:"error"`
+		}
+		code, _ := e.do("POST", "/v1/jobs", strings.NewReader(c), &resp, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("spec %s: status %d, want 400", c, code)
+		}
+		if resp.Error == "" {
+			t.Fatalf("spec %s: no error message", c)
+		}
+	}
+	// Bad tenant names are rejected too.
+	code, _ := e.do("POST", "/v1/jobs", strings.NewReader(`{"kind":"sweep","experiment":"table2"}`), nil,
+		map[string]string{"X-Gmap-Tenant": "no spaces allowed"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad tenant: status %d, want 400", code)
+	}
+}
+
+// TestRestartRecovery: a job journaled by a process that died before
+// (or while) executing it is re-enqueued and completed by the next
+// process over the same store.
+func TestRestartRecovery(t *testing.T) {
+	root := t.TempDir()
+
+	// Process A: admit a job but never start the queue — the journal
+	// entry is durable, the work never happens (a crash immediately
+	// after admission).
+	a := newEnv(t, root, queue.Options{Workers: 1, Depth: 4}, false)
+	spec := `{"kind":"sweep","experiment":"table2"}`
+	var sub jobView
+	code, _ := a.do("POST", "/v1/jobs", strings.NewReader(spec), &sub, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	a.shutdown()
+
+	// Process B: recovery re-enqueues and completes the journaled job.
+	b := newEnv(t, root, queue.Options{Workers: 1, Depth: 4}, true)
+	done := b.waitDone(t, sub.Job, time.Minute)
+	if done.Job != sub.Job {
+		t.Fatalf("recovered job id %s, want %s", done.Job, sub.Job)
+	}
+	if got := b.reg.CounterTotal("serve.api.recovered_jobs"); got != 1 {
+		t.Fatalf("recovered_jobs = %d, want 1", got)
+	}
+	entries, err := os.ReadDir(root + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("journal holds %d entries after recovery, want 0", len(entries))
+	}
+
+	// Process C: the same submission is now a pure cache hit — no queue
+	// admission, served as done immediately.
+	b.shutdown()
+	c := newEnv(t, root, queue.Options{Workers: 1, Depth: 4}, true)
+	var resub jobView
+	code, _ = c.do("POST", "/v1/jobs", strings.NewReader(spec), &resub, nil)
+	if code != http.StatusOK || resub.Status != api.StatusDone || !resub.Cached {
+		t.Fatalf("post-restart resubmit: code=%d status=%s cached=%v", code, resub.Status, resub.Cached)
+	}
+	if got := c.reg.CounterTotal("serve.queue.admitted"); got != 0 {
+		t.Fatalf("cache hit consumed a queue slot (admitted=%d)", got)
+	}
+}
+
+// TestCancelQueuedJob: cancelling a queued job finalizes it without
+// execution and retires its journal entry.
+func TestCancelQueuedJob(t *testing.T) {
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 4}, false) // never drains
+	spec := `{"kind":"sweep","experiment":"table2"}`
+	var sub jobView
+	code, _ := e.do("POST", "/v1/jobs", strings.NewReader(spec), &sub, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	var canceled jobView
+	code, _ = e.do("DELETE", "/v1/jobs/"+sub.Job, nil, &canceled, nil)
+	if code != http.StatusOK || canceled.Status != api.StatusCanceled {
+		t.Fatalf("cancel: code=%d status=%s", code, canceled.Status)
+	}
+	entries, err := os.ReadDir(e.root + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("journal holds %d entries after cancel, want 0", len(entries))
+	}
+	code, _ = e.do("DELETE", "/v1/jobs/"+strings.Repeat("00", 12), nil, nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job: status %d", code)
+	}
+}
+
+// TestObservabilitySurface: the obs plane shares the port with the API.
+func TestObservabilitySurface(t *testing.T) {
+	e := newEnv(t, t.TempDir(), queue.Options{Workers: 1, Depth: 4}, true)
+	e.uploadProfile(t, "aes")
+	resp, err := http.Get(e.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "serve_store_profiles_stored") {
+		t.Fatalf("/metrics lacks store counters:\n%s", body)
+	}
+	var prog struct {
+		Queue queue.Stats    `json:"queue"`
+		Jobs  map[string]int `json:"jobs"`
+	}
+	code, _ := e.do("GET", "/progress", nil, &prog, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/progress: status %d", code)
+	}
+	if prog.Queue.Workers != 1 {
+		t.Fatalf("progress queue census: %+v", prog.Queue)
+	}
+}

@@ -1,0 +1,159 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/runner"
+	"github.com/uteda/gmap/internal/serve/store"
+	"github.com/uteda/gmap/internal/workloads"
+)
+
+// JobSpec is the wire form of one evaluation request. Every field that
+// shapes the result participates in the config hash, so two submissions
+// asking for the same computation — however formatted — map onto the
+// same job id and the same cached result.
+type JobSpec struct {
+	// Kind selects the computation: "clone" (generate a proxy from a
+	// stored profile), "sim" (generate and run the proxy through the
+	// memory hierarchy) or "sweep" (regenerate a paper experiment over
+	// the builtin benchmarks).
+	Kind string `json:"kind"`
+	// Profile is the content hash of a stored profile (clone and sim).
+	Profile string `json:"profile,omitempty"`
+	// Seed drives generation; 0 defaults to 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// ScaleFactor is the miniaturization factor; 0 defaults to 4.
+	ScaleFactor float64 `json:"scale_factor,omitempty"`
+	// Scale is the workload scale for sweeps; 0 defaults to 1.
+	Scale int `json:"scale,omitempty"`
+	// Cores overrides the simulated SM count (0 = Table 2's 15).
+	Cores int `json:"cores,omitempty"`
+	// Experiment is the paper experiment id for sweeps ("fig6a", ...,
+	// "all").
+	Experiment string `json:"experiment,omitempty"`
+	// Benchmarks restricts a sweep to a benchmark subset; empty means
+	// all 18 (normalized to the explicit full list, so "default" and
+	// "explicitly everything" share a cache entry).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Obfuscate replaces base addresses in generated clones.
+	Obfuscate bool `json:"obfuscate,omitempty"`
+}
+
+// Job kinds.
+const (
+	KindClone = "clone"
+	KindSim   = "sim"
+	KindSweep = "sweep"
+)
+
+// normalize validates a submitted spec against the store and fills
+// defaults in place, returning an error suitable for a 400 response.
+func (spec *JobSpec) normalize(st *store.Store) error {
+	spec.Kind = strings.ToLower(strings.TrimSpace(spec.Kind))
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.ScaleFactor == 0 {
+		spec.ScaleFactor = 4
+	}
+	if spec.ScaleFactor < 0 {
+		return fmt.Errorf("scale_factor %v must be positive", spec.ScaleFactor)
+	}
+	if spec.Scale <= 0 {
+		spec.Scale = 1
+	}
+	if spec.Cores < 0 {
+		return fmt.Errorf("cores %d must be non-negative", spec.Cores)
+	}
+	switch spec.Kind {
+	case KindClone, KindSim:
+		if spec.Experiment != "" || len(spec.Benchmarks) != 0 {
+			return fmt.Errorf("%s jobs take a profile, not experiment/benchmarks", spec.Kind)
+		}
+		if spec.Profile == "" {
+			return fmt.Errorf("%s jobs require a profile hash (POST /v1/profiles first)", spec.Kind)
+		}
+		if !st.HasProfile(spec.Profile) {
+			return fmt.Errorf("unknown profile %q (POST /v1/profiles first)", spec.Profile)
+		}
+	case KindSweep:
+		if spec.Profile != "" {
+			return fmt.Errorf("sweep jobs run the builtin benchmarks; profile is not accepted")
+		}
+		ok := spec.Experiment == "all"
+		for _, id := range eval.ExperimentIDs() {
+			if spec.Experiment == id {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v and \"all\")", spec.Experiment, eval.ExperimentIDs())
+		}
+		if len(spec.Benchmarks) == 0 {
+			spec.Benchmarks = workloads.Names()
+		}
+		for _, b := range spec.Benchmarks {
+			if _, known := workloads.ByName(b); !known {
+				return fmt.Errorf("unknown benchmark %q (have %v)", b, workloads.Names())
+			}
+		}
+	case "":
+		return fmt.Errorf("missing job kind (one of clone, sim, sweep)")
+	default:
+		return fmt.Errorf("unknown job kind %q (one of clone, sim, sweep)", spec.Kind)
+	}
+	return nil
+}
+
+// hashes derives the result-cache coordinates of a normalized spec: WHAT
+// is evaluated (the submitted profile, or the builtin benchmark
+// selection) × HOW it is evaluated (every other spec field). The job id
+// is a stable digest of both, so identical submissions collide onto one
+// job and one cached result.
+func (spec *JobSpec) hashes() (profileHash, configHash, jobID string, err error) {
+	switch spec.Kind {
+	case KindSweep:
+		src := struct {
+			Builtin []string `json:"builtin"`
+		}{Builtin: append([]string(nil), spec.Benchmarks...)}
+		data, merr := json.Marshal(src)
+		if merr != nil {
+			return "", "", "", merr
+		}
+		profileHash = store.HashBytes(data)
+	default:
+		profileHash = spec.Profile
+	}
+	cfg := *spec
+	cfg.Profile = "" // the profile is the other cache axis
+	data, merr := json.Marshal(cfg)
+	if merr != nil {
+		return "", "", "", merr
+	}
+	configHash = store.HashBytes(data)
+	return profileHash, configHash, runner.JobKey(profileHash, configHash), nil
+}
+
+// jobEnvelope is the journaled form of an admitted job: everything a
+// restarted server needs to re-enqueue it.
+type jobEnvelope struct {
+	Spec        JobSpec `json:"spec"`
+	Tenant      string  `json:"tenant"`
+	ProfileHash string  `json:"profile_hash"`
+	ConfigHash  string  `json:"config_hash"`
+}
+
+// sortedIDs returns journal ids in stable order so recovery enqueues
+// deterministically.
+func sortedIDs(m map[string]json.RawMessage) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

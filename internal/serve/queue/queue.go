@@ -1,0 +1,296 @@
+// Package queue is the clone-and-simulate service's admission-controlled
+// execution queue: a bounded backlog with explicit rejection (the API
+// layer maps ErrFull to 429 + Retry-After, so overload surfaces as
+// backpressure instead of unbounded memory growth) drained by a fixed
+// worker pool under per-tenant weighted fair scheduling.
+//
+// Scheduling is stride-based: each tenant carries a virtual "pass" that
+// advances by 1/weight per dispatched job, and the dispatcher always
+// picks the backlogged tenant with the smallest pass (ties broken by
+// tenant name, so dispatch order is deterministic for a deterministic
+// submission order). Two backlogged tenants with weights 3:1 are served
+// 3:1 whatever their submission ratio — a tenant flooding the queue
+// 10:1 cannot starve the other. A tenant going idle forfeits its unused
+// share: on re-activation its pass is advanced to the queue's current
+// virtual time, so saved-up credit cannot be burst later.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+)
+
+// Submission errors. ErrFull is the backpressure signal: the caller
+// should retry later (HTTP 429 + Retry-After at the API layer).
+var (
+	ErrFull      = errors.New("queue: backlog full")
+	ErrClosed    = errors.New("queue: closed")
+	ErrDuplicate = errors.New("queue: job id already queued or running")
+)
+
+// Job is one admitted unit of work. Run is invoked on a worker goroutine
+// with a context that is cancelled when the job is cancelled or the
+// queue shuts down; Run owns all result reporting (the queue never sees
+// job outcomes).
+type Job struct {
+	ID     string
+	Tenant string
+	Run    func(ctx context.Context)
+}
+
+// Options configures a queue.
+type Options struct {
+	// Workers is the number of jobs executing concurrently; <= 0 means 1.
+	Workers int
+	// Depth bounds the admitted-but-not-yet-running backlog; a Submit
+	// beyond it returns ErrFull. <= 0 means 64.
+	Depth int
+	// Weights assigns per-tenant scheduling weights; absent or
+	// non-positive entries default to 1.
+	Weights map[string]int
+	// Obs, when non-nil, records queue instrumentation: depth/running
+	// gauges, admission/rejection/completion counters and per-tenant
+	// job counts and service-time histograms.
+	Obs *obs.Registry
+}
+
+type entry struct {
+	job      Job
+	canceled bool
+	cancel   context.CancelFunc // set while running
+}
+
+type tenantState struct {
+	weight float64
+	pass   float64
+	fifo   []*entry
+}
+
+// Queue is an admission-controlled, weighted-fair job queue.
+type Queue struct {
+	opts    Options
+	workers int
+	depth   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	byID    map[string]*entry
+	queued  int
+	running int
+	vtime   float64
+	closed  bool
+	started bool
+	wg      sync.WaitGroup
+}
+
+// New builds a queue; call Start to begin draining it.
+func New(opts Options) *Queue {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = 64
+	}
+	q := &Queue{
+		opts:    opts,
+		workers: workers,
+		depth:   depth,
+		tenants: make(map[string]*tenantState),
+		byID:    make(map[string]*entry),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Start launches the worker pool. Workers exit — after finishing their
+// current job — once ctx is cancelled; running jobs see their own
+// contexts cancelled at the same moment.
+func (q *Queue) Start(ctx context.Context) {
+	q.mu.Lock()
+	if q.started {
+		q.mu.Unlock()
+		return
+	}
+	q.started = true
+	q.mu.Unlock()
+	for i := 0; i < q.workers; i++ {
+		q.wg.Add(1)
+		go q.worker(ctx)
+	}
+	go func() {
+		<-ctx.Done()
+		q.mu.Lock()
+		q.closed = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}()
+}
+
+// Wait blocks until every worker has exited (queue closed via context
+// cancellation and current jobs finished).
+func (q *Queue) Wait() { q.wg.Wait() }
+
+// weightOf resolves a tenant's configured weight.
+func (q *Queue) weightOf(tenant string) float64 {
+	if w, ok := q.opts.Weights[tenant]; ok && w > 0 {
+		return float64(w)
+	}
+	return 1
+}
+
+// Submit admits a job into its tenant's backlog, or rejects it with
+// ErrFull (backlog at Depth), ErrDuplicate (id already live) or
+// ErrClosed. Admission is the only place memory grows, so a full queue
+// rejects instead of buffering.
+func (q *Queue) Submit(j Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if _, live := q.byID[j.ID]; live {
+		return ErrDuplicate
+	}
+	if q.queued >= q.depth {
+		q.opts.Obs.Counter("serve.queue.rejected").Inc()
+		return ErrFull
+	}
+	t := q.tenants[j.Tenant]
+	if t == nil {
+		t = &tenantState{weight: q.weightOf(j.Tenant)}
+		q.tenants[j.Tenant] = t
+	}
+	if len(t.fifo) == 0 && t.pass < q.vtime {
+		// Re-activating after idleness: no banked credit.
+		t.pass = q.vtime
+	}
+	e := &entry{job: j}
+	t.fifo = append(t.fifo, e)
+	q.byID[j.ID] = e
+	q.queued++
+	q.opts.Obs.Counter("serve.queue.admitted").Inc()
+	q.opts.Obs.Gauge("serve.queue.depth").Set(int64(q.queued))
+	q.cond.Signal()
+	return nil
+}
+
+// Cancel cancels a queued or running job by id. A queued job never
+// runs; a running job has its context cancelled and is expected to wind
+// down. Returns false for ids the queue is not currently holding.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	e := q.byID[id]
+	if e == nil {
+		q.mu.Unlock()
+		return false
+	}
+	e.canceled = true
+	delete(q.byID, id)
+	var cancel context.CancelFunc
+	if e.cancel != nil {
+		cancel = e.cancel // running: cancel outside the lock
+	} else {
+		q.queued-- // queued: it will be skipped at dispatch
+		q.opts.Obs.Gauge("serve.queue.depth").Set(int64(q.queued))
+	}
+	q.opts.Obs.Counter("serve.queue.canceled").Inc()
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Stats is a point-in-time queue census, used by the API layer to size
+// Retry-After hints.
+type Stats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+}
+
+// Stats returns the current census.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{Queued: q.queued, Running: q.running, Workers: q.workers, Depth: q.depth}
+}
+
+// pickLocked pops the next job under stride scheduling: the backlogged
+// tenant with the smallest pass, ties broken by name. Cancelled heads
+// are pruned without being counted. Returns nil when nothing runnable
+// is queued.
+func (q *Queue) pickLocked() *entry {
+	var best *tenantState
+	bestName := ""
+	for name, t := range q.tenants {
+		for len(t.fifo) > 0 && t.fifo[0].canceled {
+			t.fifo = t.fifo[1:]
+		}
+		if len(t.fifo) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && name < bestName) {
+			best, bestName = t, name
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	e := best.fifo[0]
+	best.fifo = best.fifo[1:]
+	q.queued--
+	q.opts.Obs.Gauge("serve.queue.depth").Set(int64(q.queued))
+	q.vtime = best.pass
+	best.pass += 1 / best.weight
+	return e
+}
+
+func (q *Queue) worker(ctx context.Context) {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		var e *entry
+		for {
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			if e = q.pickLocked(); e != nil {
+				break
+			}
+			q.cond.Wait()
+		}
+		jctx, cancel := context.WithCancel(ctx)
+		e.cancel = cancel
+		q.running++
+		q.opts.Obs.Gauge("serve.queue.running").Set(int64(q.running))
+		q.mu.Unlock()
+
+		start := time.Now()
+		e.job.Run(jctx)
+		cancel()
+		elapsed := time.Since(start)
+
+		q.mu.Lock()
+		q.running--
+		q.opts.Obs.Gauge("serve.queue.running").Set(int64(q.running))
+		// Remove only our own registration: a cancel followed by a
+		// resubmission may have installed a fresh entry under this id.
+		if cur, live := q.byID[e.job.ID]; live && cur == e {
+			delete(q.byID, e.job.ID)
+		}
+		q.opts.Obs.Counter("serve.queue.completed").Inc()
+		q.opts.Obs.Counter("serve.tenant." + e.job.Tenant + ".jobs").Inc()
+		q.opts.Obs.Histogram("serve.tenant." + e.job.Tenant + ".service_ns").Observe(uint64(elapsed))
+		q.mu.Unlock()
+	}
+}

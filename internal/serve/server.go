@@ -1,0 +1,105 @@
+// Package serve is the HTTP serving layer shared by the read-only
+// observability exposition server (internal/obs/serve) and the
+// clone-and-simulate service (internal/serve/api, cmd/gmap-served): one
+// listen/serve/shutdown lifecycle helper, so both servers bind, report
+// their actual address and drain on context cancellation identically.
+//
+// The helper supports ":0" listen addresses — the kernel picks a free
+// port and Addr() reports the one actually bound — which is what makes
+// both servers integration-testable over real listeners without httptest
+// and lets deployments bind "any free port" and advertise it.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is a bound, serving HTTP server whose lifetime is tied to the
+// context passed to Start: cancelling the context drains in-flight
+// requests and stops the serve loop, as does calling Shutdown directly.
+type Server struct {
+	name string
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// Start binds addr and serves handler until ctx is cancelled (or
+// Shutdown is called). It returns once the listener is bound, so Addr()
+// is immediately routable — pass port :0 to let the kernel pick a free
+// port and read the bound one back from Addr(). name tags error messages
+// ("obs serve", "gmap-served").
+func Start(ctx context.Context, name, addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: listen %s: %w", name, addr, err)
+	}
+	s := &Server{
+		name: name,
+		ln:   ln,
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.shutdown()
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the actually-bound listen address — with a ":0" request
+// this carries the kernel-assigned port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Port returns the bound TCP port.
+func (s *Server) Port() int {
+	if a, ok := s.ln.Addr().(*net.TCPAddr); ok {
+		return a.Port
+	}
+	return 0
+}
+
+// URL returns the server's base URL ("http://127.0.0.1:9301"). A
+// wildcard bind address is rewritten to a loopback host so the URL is
+// dialable as printed.
+func (s *Server) URL() string {
+	a, ok := s.ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return "http://" + s.ln.Addr().String()
+	}
+	host := a.IP.String()
+	if a.IP == nil || a.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(a.Port)))
+}
+
+// Shutdown stops the server, draining in-flight requests, and waits for
+// the serve loop to exit. Safe to call more than once and after ctx
+// cancellation has already stopped the server.
+func (s *Server) Shutdown() error {
+	s.shutdown()
+	<-s.done
+	return s.err
+}
+
+func (s *Server) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Shutdown is idempotent; an already-closed server returns nil.
+	_ = s.srv.Shutdown(ctx)
+}

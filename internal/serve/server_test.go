@@ -1,0 +1,63 @@
+package serve_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/uteda/gmap/internal/serve"
+)
+
+// TestStartEphemeralPort exercises the ":0" path both servers rely on
+// for httptest-free integration tests: the kernel assigns a port, and
+// Addr/Port/URL report the bound one.
+func TestStartEphemeralPort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	s, err := serve.Start(ctx, "test", "127.0.0.1:0", h)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Shutdown()
+	if s.Port() == 0 {
+		t.Fatalf("Port() = 0 after binding :0; want kernel-assigned port")
+	}
+	if !strings.HasSuffix(s.Addr(), ":"+strconv.Itoa(s.Port())) {
+		t.Fatalf("Addr() %q does not carry Port() %d", s.Addr(), s.Port())
+	}
+	resp, err := http.Get(s.URL() + "/")
+	if err != nil {
+		t.Fatalf("GET %s: %v", s.URL(), err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != "pong" {
+		t.Fatalf("GET body = %q, %v; want \"pong\"", body, err)
+	}
+}
+
+// TestShutdownIdempotent verifies Shutdown after context cancellation is
+// safe and returns the serve loop's terminal state.
+func TestShutdownIdempotent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := serve.Start(ctx, "test", "127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cancel()
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown after cancel: %v", err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/"); err == nil {
+		t.Fatalf("server still serving after Shutdown")
+	}
+}

@@ -1,0 +1,148 @@
+#!/usr/bin/env sh
+# served_smoke.sh — end-to-end smoke test for the gmap-served service.
+#
+# Starts a server on an ephemeral port, profiles a built-in workload,
+# uploads the profile, submits a clone job, waits for the result, then
+# resubmits the identical job and asserts (a) the second response is a
+# cache hit and (b) the serve_api_cache_hits counter moved. Exercises
+# the same path a real deployment uses: binaries + HTTP, no test
+# harness. Requires only a Go toolchain and curl.
+#
+# Usage: scripts/served_smoke.sh [workdir]
+set -eu
+
+WORK="${1:-$(mktemp -d)}"
+BIN="$WORK/bin"
+STORE="$WORK/store"
+ADDR_FILE="$WORK/addr"
+mkdir -p "$BIN"
+
+echo "==> building binaries into $BIN"
+go build -o "$BIN/gmap-profile" ./cmd/gmap-profile
+go build -o "$BIN/gmap-served" ./cmd/gmap-served
+
+echo "==> profiling built-in workload aes"
+"$BIN/gmap-profile" -workload aes -out "$WORK/aes.profile.json"
+
+echo "==> starting gmap-served on an ephemeral port"
+"$BIN/gmap-served" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" -store "$STORE" &
+SERVED_PID=$!
+trap 'kill "$SERVED_PID" 2>/dev/null || true' EXIT
+
+# Wait for the server to write its bound address.
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: server never wrote $ADDR_FILE" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+BASE="http://$(cat "$ADDR_FILE")"
+echo "==> server is at $BASE"
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# jget FILE KEY — extract a scalar JSON field without jq.
+jget() {
+    sed -n 's/.*"'"$2"'":[[:space:]]*"\{0,1\}\([^",}]*\)"\{0,1\}.*/\1/p' "$1" | head -n1
+}
+
+echo "==> uploading profile"
+curl -sSf -X POST --data-binary @"$WORK/aes.profile.json" \
+    "$BASE/v1/profiles" >"$WORK/profile_resp.json"
+HASH=$(jget "$WORK/profile_resp.json" profile)
+[ -n "$HASH" ] || fail "profile upload returned no hash: $(cat "$WORK/profile_resp.json")"
+echo "    profile $HASH"
+
+SPEC="{\"kind\":\"clone\",\"profile\":\"$HASH\",\"seed\":7}"
+
+echo "==> submitting clone job"
+curl -sS -o "$WORK/submit1.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$SPEC" \
+    "$BASE/v1/jobs" >"$WORK/code1"
+[ "$(cat "$WORK/code1")" = "202" ] || \
+    fail "first submit returned $(cat "$WORK/code1"): $(cat "$WORK/submit1.json")"
+JOB=$(jget "$WORK/submit1.json" job)
+[ -n "$JOB" ] || fail "submit returned no job id"
+echo "    job $JOB"
+
+echo "==> waiting for completion"
+i=0
+while :; do
+    curl -sSf "$BASE/v1/jobs/$JOB" >"$WORK/status.json"
+    STATUS=$(jget "$WORK/status.json" status)
+    case "$STATUS" in
+    done) break ;;
+    failed | canceled) fail "job ended $STATUS: $(cat "$WORK/status.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 300 ] || sleep 0.1
+    [ "$i" -le 300 ] || fail "job never completed (status $STATUS)"
+done
+
+curl -sSf "$BASE/v1/jobs/$JOB/result" >"$WORK/result1.json"
+grep -q '"kind":"clone"' "$WORK/result1.json" || fail "result missing clone payload"
+echo "==> job done, result retrieved ($(wc -c <"$WORK/result1.json") bytes)"
+
+echo "==> resubmitting the identical job"
+curl -sS -o "$WORK/submit2.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$SPEC" \
+    "$BASE/v1/jobs" >"$WORK/code2"
+[ "$(cat "$WORK/code2")" = "200" ] || \
+    fail "resubmission returned $(cat "$WORK/code2"), want 200 (cache hit)"
+grep -q '"cached": true' "$WORK/submit2.json" || \
+    fail "resubmission not served from cache: $(cat "$WORK/submit2.json")"
+JOB2=$(jget "$WORK/submit2.json" job)
+[ "$JOB2" = "$JOB" ] || fail "resubmission got a new job id ($JOB2 != $JOB)"
+
+curl -sSf "$BASE/v1/jobs/$JOB2/result" >"$WORK/result2.json"
+cmp -s "$WORK/result1.json" "$WORK/result2.json" || \
+    fail "cached result differs from original"
+
+echo "==> submitting a figure sweep (table1, aes)"
+SWEEP='{"kind":"sweep","experiment":"table1","benchmarks":["aes"]}'
+curl -sSf -X POST -H 'Content-Type: application/json' -d "$SWEEP" \
+    "$BASE/v1/jobs" >"$WORK/sweep1.json"
+SJOB=$(jget "$WORK/sweep1.json" job)
+[ -n "$SJOB" ] || fail "sweep submit returned no job id"
+i=0
+while :; do
+    curl -sSf "$BASE/v1/jobs/$SJOB" >"$WORK/sstatus.json"
+    SSTATUS=$(jget "$WORK/sstatus.json" status)
+    case "$SSTATUS" in
+    done) break ;;
+    failed | canceled) fail "sweep ended $SSTATUS: $(cat "$WORK/sstatus.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -le 1200 ] || fail "sweep never completed (status $SSTATUS)"
+    sleep 0.5
+done
+curl -sSf "$BASE/v1/jobs/$SJOB/result" >"$WORK/sweep_result1.json"
+grep -q '"kind":"sweep"' "$WORK/sweep_result1.json" || fail "sweep result missing report"
+grep -q 'table1: application memory patterns' "$WORK/sweep_result1.json" || \
+    fail "sweep result missing figure content"
+
+echo "==> resubmitting the sweep (must be a cache hit)"
+curl -sS -o "$WORK/sweep2.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$SWEEP" \
+    "$BASE/v1/jobs" >"$WORK/scode2"
+[ "$(cat "$WORK/scode2")" = "200" ] || \
+    fail "sweep resubmission returned $(cat "$WORK/scode2"), want 200 (cache hit)"
+grep -q '"cached": true' "$WORK/sweep2.json" || \
+    fail "sweep resubmission not served from cache: $(cat "$WORK/sweep2.json")"
+curl -sSf "$BASE/v1/jobs/$SJOB/result" >"$WORK/sweep_result2.json"
+cmp -s "$WORK/sweep_result1.json" "$WORK/sweep_result2.json" || \
+    fail "cached sweep result differs from original"
+
+echo "==> checking /metrics for the cache-hit counter"
+curl -sSf "$BASE/metrics" >"$WORK/metrics.txt"
+HITS=$(sed -n 's/^gmap_serve_api_cache_hits[[:space:]]\{1,\}//p' "$WORK/metrics.txt")
+[ -n "$HITS" ] || fail "serve_api_cache_hits missing from /metrics"
+[ "$HITS" -ge 1 ] || fail "serve_api_cache_hits = $HITS, want >= 1"
+
+echo "PASS: submit -> result -> cached resubmission ($HITS cache hit(s)), bit-identical results"
