@@ -411,17 +411,24 @@ func (c *Controller) InFlight() int { return c.inFlight }
 // AdvanceTo services queues up to cycle now and returns the completions
 // whose data finished by now, in completion order.
 func (c *Controller) AdvanceTo(now uint64) []Completion {
-	var out []Completion
+	return c.AdvanceInto(now, nil)
+}
+
+// AdvanceInto is AdvanceTo with a caller-owned completion buffer: the
+// batch is appended to buf (typically buf[:0] of a retained slice) and
+// the extended slice returned, so a caller advancing the controller once
+// per simulated cycle allocates nothing in steady state.
+func (c *Controller) AdvanceInto(now uint64, buf []Completion) []Completion {
 	for i := range c.channels {
 		ch := &c.channels[i]
 		for c.serviceOne(ch, now) {
 		}
 		for ch.done.Len() > 0 && ch.done[0].Done <= now {
-			out = append(out, heap.Pop(&ch.done).(Completion))
+			buf = append(buf, heap.Pop(&ch.done).(Completion))
 			c.inFlight--
 		}
 	}
-	return out
+	return buf
 }
 
 // NextCompletion reports the earliest cycle at which a completion will

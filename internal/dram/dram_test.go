@@ -424,3 +424,45 @@ func TestRefreshConfigValidation(t *testing.T) {
 		t.Error("negative tREFI accepted")
 	}
 }
+
+// TestAdvanceIntoMatchesAdvanceTo: the caller-owned-buffer batch API must
+// deliver exactly the per-step completions of AdvanceTo — same order,
+// same contents — while reusing the passed buffer across steps.
+func TestAdvanceIntoMatchesAdvanceTo(t *testing.T) {
+	mk := func() *Controller { return mustController(t, simpleCfg()) }
+	enq := func(c *Controller, step uint64) {
+		// A mix of same-row, cross-bank and write traffic per step.
+		c.Enqueue(step*128, false, step*7)
+		c.Enqueue(step*4096+128, step%3 == 0, step*7)
+	}
+	a, b := mk(), mk()
+	var buf []Completion
+	for step := uint64(0); step < 50; step++ {
+		enq(a, step)
+		enq(b, step)
+		now := step * 11
+		want := a.AdvanceTo(now)
+		buf = b.AdvanceInto(now, buf[:0])
+		if len(want) != len(buf) {
+			t.Fatalf("step %d: AdvanceInto returned %d completions, AdvanceTo %d", step, len(buf), len(want))
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("step %d completion %d: %+v vs %+v", step, i, buf[i], want[i])
+			}
+		}
+	}
+	wantRest := a.Drain()
+	gotRest := b.Drain()
+	if len(wantRest) != len(gotRest) {
+		t.Fatalf("drain length: %d vs %d", len(gotRest), len(wantRest))
+	}
+	for i := range wantRest {
+		if wantRest[i] != gotRest[i] {
+			t.Fatalf("drain completion %d: %+v vs %+v", i, gotRest[i], wantRest[i])
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged:\n AdvanceTo:   %+v\n AdvanceInto: %+v", a.Stats, b.Stats)
+	}
+}

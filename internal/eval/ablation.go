@@ -153,6 +153,7 @@ func (o *Options) Ablation() (*AblationResult, error) {
 					if err != nil {
 						return ablSample{}, err
 					}
+					cfg.Workers = o.SimWorkers
 					om, err := w.SimulateOriginal(cfg)
 					if err != nil {
 						return ablSample{}, err
@@ -180,6 +181,7 @@ func (o *Options) Ablation() (*AblationResult, error) {
 						if err != nil {
 							return ablSample{}, err
 						}
+						cfg.Workers = o.SimWorkers
 						pm, err := w.SimulateProxy(cfg)
 						if err != nil {
 							return ablSample{}, err

@@ -80,6 +80,7 @@ func (o *Options) Fig7() (*Fig7Result, error) {
 					if err != nil {
 						return fig7Sample{}, err
 					}
+					ocfg.Workers = o.SimWorkers
 					om, err := w.SimulateOriginal(ocfg)
 					if err != nil {
 						return fig7Sample{}, err
@@ -88,6 +89,7 @@ func (o *Options) Fig7() (*Fig7Result, error) {
 					if err != nil {
 						return fig7Sample{}, err
 					}
+					pcfg.Workers = o.SimWorkers
 					pm, err := w.SimulateProxy(pcfg)
 					if err != nil {
 						return fig7Sample{}, err

@@ -12,6 +12,16 @@
 // request's latency — L1 hit, L2 hit, or a full DRAM round trip through an
 // MSHR-bounded miss path — closing the loop between scheduling and memory
 // behaviour. Core and memory clocks are treated as 1:1.
+//
+// Two execution engines share one set of per-cycle primitives. The serial
+// engine visits cores in order on the calling goroutine. With
+// Config.Workers > 1, SM cores execute on worker goroutines instead: the
+// core-local half of every visited cycle (scheduling, barriers, the L1 and
+// its prefetcher, MSHR bookkeeping) runs shard-local, and the cores meet
+// at a shared-state drain where the coordinator replays their L2/DRAM
+// continuations in deterministic core order. Results are bit-identical
+// between the engines for any worker count and any GOMAXPROCS; DESIGN.md
+// §12 documents the seam and the exactness argument.
 package memsim
 
 import (
@@ -83,6 +93,14 @@ type Config struct {
 	SchedPself float64
 	// Seed drives stochastic scheduling decisions.
 	Seed uint64
+	// Workers selects the execution engine: 0 or 1 runs the serial
+	// scheduler loop on the calling goroutine, while a larger value runs
+	// the SM cores on up to that many worker goroutines (capped at
+	// NumCores) that meet at a shared L2/DRAM drain every visited cycle.
+	// The choice is a pure execution detail: metrics, observability and
+	// trace exports are bit-identical for every value of Workers and any
+	// GOMAXPROCS setting.
+	Workers int
 	// Obs, when non-nil, receives live instrumentation: per-core
 	// warp-queue depth and MSHR occupancy series, cumulative and
 	// per-launch miss-rate samples, scheduler stall reasons, L2 bank
@@ -163,6 +181,10 @@ type warpState struct {
 
 func (w *warpState) done() bool { return w.cursor >= len(w.requests) }
 
+// notReady is the nextReady slot value for warps the scheduler must skip
+// (stream finished, blocked on DRAM, or parked at a barrier).
+const notReady = ^uint64(0)
+
 type coreState struct {
 	blocks    []int // block ids assigned to this core, arrival order
 	nextBlock int   // index into blocks of the next non-resident block
@@ -170,17 +192,86 @@ type coreState struct {
 	active    []int // warp indices currently resident, residency order
 	rr        int   // round-robin pointer into active
 	lastWarp  int   // warp index (global) of the last scheduled warp, -1 if none
-	mshr      *cache.MSHRFile
-	l1        *cache.Cache
-	l1pf      prefetch.Prefetcher
+	// pendingDone counts active warps that have finished their stream but
+	// not yet retired; compactCore's retirement scan is skipped entirely
+	// while it is zero.
+	pendingDone int
+	mshr        *cache.MSHRFile
+	l1          *cache.Cache
+	l1pf        prefetch.Prefetcher
+	// Outstanding DRAM reads owned by this core: request id -> flight and
+	// L1 line -> request id (secondary-miss merging). Keeping both maps
+	// core-local makes the whole miss-merge path shard-safe under the
+	// parallel engine.
+	flights    map[uint64]*flight
+	lineFlight map[uint64]uint64
+	flightPool []*flight // retired flight records, reused to curb allocation
 }
 
-// flight tracks one outstanding DRAM read: the L1 line it fills, the core
-// whose MSHR entry it holds, and the warps blocked on it.
+// flight tracks one outstanding DRAM read: the L1 line it fills and the
+// warps blocked on it. The owning core is the map key's context.
 type flight struct {
 	line  uint64
-	core  int
 	warps []int
+}
+
+// opKind tags the shared-state continuation a core's issue slot produced.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	// opShared carries a pre-executed L1 outcome whose L2/DRAM half still
+	// has to run at the shared-state drain.
+	opShared
+	// opDeferred carries an untouched request whose MSHR-full stall
+	// decision needs the shared L2 probe; the drain re-runs the whole
+	// access with the probe available.
+	opDeferred
+)
+
+// accOutcome is the L1-side outcome recorded in an opShared continuation.
+type accOutcome uint8
+
+const (
+	accHit  accOutcome = iota // L1 hit: only prefetch candidates remain
+	accWT                     // write-through store: the L2 write remains
+	accMiss                   // L1 miss: the demand L2 lookup remains
+)
+
+// pfCand is one accepted L1 prefetch candidate: the line it filled and the
+// dirty victim (if any) that fill evicted.
+type pfCand struct {
+	line        uint64
+	victim      uint64
+	victimDirty bool
+}
+
+// coreOp is one core's shared-state continuation for one visited cycle:
+// everything its issue slot still has to do to the L2, the L2 prefetcher
+// and the DRAM controller, recorded in the exact order the serial access
+// path would perform it.
+type coreOp struct {
+	kind          opKind
+	outcome       accOutcome
+	wi            int
+	req           trace.Request
+	line          uint64 // L1 line address of req.Addr
+	l1Victim      uint64
+	l1VictimDirty bool
+	cands         []pfCand // reused visit to visit
+}
+
+// coreSlot is the per-core exchange record between the core-local half of
+// a visited cycle and the shared-state drain. The serial engine reuses a
+// single slot and drains it immediately after each core; the parallel
+// engine keeps one per core, filled by the owning worker and drained by
+// the coordinator in core order.
+type coreSlot struct {
+	op       coreOp
+	issued   bool
+	reqDelta uint64            // demand requests issued this visit
+	pself    bool              // pre-drawn PSelf repeat decision
+	comps    []dram.Completion // completions routed to this core's flights
 }
 
 // Simulator runs warp streams through the hierarchy. Create one per run
@@ -188,8 +279,15 @@ type flight struct {
 // launches, run back to back with cache and DRAM state persisting across
 // launches); it is not reusable after Run.
 type Simulator struct {
-	cfg        Config
-	warps      []warpState
+	cfg   Config
+	warps []warpState
+	// nextReady is the scheduler's struct-of-arrays hot column: one word
+	// per warp holding readyAt, or notReady when the warp is done, waiting
+	// on DRAM or parked at a barrier. Ready checks in the issue scan and
+	// the next-event search are a single load and compare; warpState stays
+	// the authoritative record and refreshReady keeps the column in sync
+	// at every transition.
+	nextReady  []uint64
 	cores      []coreState
 	blockWarps [][]int
 	blockRem   []int
@@ -197,19 +295,27 @@ type Simulator struct {
 	// epochOf[b] is the kernel launch a block belongs to; blocks of launch
 	// e+1 are admitted only after every launch-e warp retired (the
 	// implicit device-wide synchronization between dependent kernels).
-	epochOf    []int
-	epochRem   []int
-	epoch      int
-	l2         *cache.Banked
-	l2pf       prefetch.Prefetcher
-	dram       *dram.Controller
-	rnd        *rng.Rand
-	flights    map[uint64]*flight // DRAM request id -> flight
-	lineFlight map[uint64]uint64  // (core, L1 line) key -> DRAM request id
+	epochOf  []int
+	epochRem []int
+	epoch    int
+	l2       *cache.Banked
+	l2pf     prefetch.Prefetcher
+	dram     *dram.Controller
+	rnd      *rng.Rand
+	// flightCore routes DRAM completions to the core whose flight they
+	// finish. Only the serial loop and the parallel coordinator touch it.
+	flightCore map[uint64]int
 	metrics    Metrics
 	// obs carries the pre-resolved observability handles; nil when
 	// disabled (see obs.go).
 	obs *simObs
+	// compBuf is the reused per-cycle DRAM completion batch; serialSlot
+	// the serial engine's reused issue slot.
+	compBuf    []dram.Completion
+	serialSlot coreSlot
+	// slots are the parallel engine's per-core exchange records (nil under
+	// the serial engine).
+	slots []coreSlot
 	// Epoch-boundary snapshots for the per-launch breakdown.
 	lastSnap struct {
 		cycle    uint64
@@ -283,8 +389,7 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 	s := &Simulator{
 		cfg:        cfg,
 		rnd:        rng.New(cfg.Seed ^ 0x51713),
-		flights:    make(map[uint64]*flight),
-		lineFlight: make(map[uint64]uint64),
+		flightCore: make(map[uint64]int),
 	}
 	var err error
 	if s.l2, err = cache.NewBanked(cfg.L2, cfg.L2Banks); err != nil {
@@ -326,12 +431,18 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 		s.epochOf[b] = warpEpochs[i]
 		s.epochRem[warpEpochs[i]]++
 	}
+	s.nextReady = make([]uint64, len(warps))
+	for i := range s.warps {
+		s.refreshReady(i)
+	}
 
 	s.cores = make([]coreState, cfg.NumCores)
 	for c := range s.cores {
 		core := &s.cores[c]
 		core.mshr = cache.NewMSHRFile(cfg.MSHRsPerCore)
 		core.lastWarp = -1
+		core.flights = make(map[uint64]*flight)
+		core.lineFlight = make(map[uint64]uint64)
 		l1cfg := cfg.L1
 		l1cfg.Seed = cfg.Seed + uint64(c)
 		if core.l1, err = cache.New(l1cfg); err != nil {
@@ -366,6 +477,27 @@ func newSim(warps []trace.WarpTrace, warpEpochs []int, numEpochs int, cfg Config
 	return s, nil
 }
 
+// refreshReady recomputes a warp's scheduler-visible readiness slot after
+// a state transition.
+func (s *Simulator) refreshReady(wi int) {
+	ws := &s.warps[wi]
+	if ws.done() || ws.waiting || ws.atBarrier {
+		s.nextReady[wi] = notReady
+		return
+	}
+	s.nextReady[wi] = ws.readyAt
+}
+
+// advanceCursor consumes warp wi's current request, tracking the core's
+// pending-retirement count when the stream finishes.
+func (s *Simulator) advanceCursor(core *coreState, wi int) {
+	ws := &s.warps[wi]
+	ws.cursor++
+	if ws.done() {
+		core.pendingDone++
+	}
+}
+
 // admitBlock moves the core's next assigned block into residency, unless
 // it belongs to a future kernel launch (epoch) that has not started yet.
 // Blocks without warps (gaps in the block-id space) complete trivially and
@@ -382,6 +514,11 @@ func (s *Simulator) admitBlock(core *coreState) {
 		}
 		core.resident++
 		core.active = append(core.active, s.blockWarps[b]...)
+		for _, wi := range s.blockWarps[b] {
+			if s.warps[wi].done() {
+				core.pendingDone++ // empty stream: retires on the next compact
+			}
+		}
 		return
 	}
 }
@@ -415,56 +552,16 @@ func (s *Simulator) Run() (Metrics, error) {
 	// memory work retire on the first pass.
 	remaining := len(s.warps)
 	for c := range s.cores {
-		s.compactCore(c, 0, &remaining)
+		s.compactCore(c, 0, &remaining, s.epochRem)
 	}
-	guard := uint64(0)
-	for remaining > 0 {
-		guard++
-		if guard > 1<<34 {
-			return s.metrics, fmt.Errorf("memsim: no forward progress (cycle %d, %d warps left)", cycle, remaining)
-		}
-		for _, comp := range s.dram.AdvanceTo(cycle) {
-			s.complete(comp)
-		}
-		if s.obs != nil {
-			s.sampleCycle(cycle)
-		}
-		issued := false
-		for c := range s.cores {
-			if s.issue(c, cycle) {
-				issued = true
-			} else if s.obs != nil {
-				s.noteStall(c)
-			}
-		}
-		for c := range s.cores {
-			s.compactCore(c, cycle, &remaining)
-		}
-		// Advance to the next kernel launch when the current one fully
-		// retires (implicit device synchronization between launches).
-		for s.epoch+1 < len(s.epochRem) && s.epochRem[s.epoch] == 0 {
-			s.recordLaunch(cycle)
-			s.epoch++
-			for c := range s.cores {
-				core := &s.cores[c]
-				for core.nextBlock < len(core.blocks) && core.resident < s.cfg.BlocksPerCore {
-					before := core.nextBlock
-					s.admitBlock(core)
-					if core.nextBlock == before {
-						break
-					}
-				}
-			}
-		}
-		if issued {
-			cycle++
-			continue
-		}
-		next := s.nextEvent(cycle)
-		if next <= cycle {
-			next = cycle + 1
-		}
-		cycle = next
+	var err error
+	if nw := s.parallelWorkers(); nw > 0 {
+		err = s.loopParallel(nw, &cycle, &remaining)
+	} else {
+		err = s.loopSerial(&cycle, &remaining)
+	}
+	if err != nil {
+		return s.metrics, err
 	}
 	for _, comp := range s.dram.Drain() {
 		s.complete(comp)
@@ -479,6 +576,107 @@ func (s *Simulator) Run() (Metrics, error) {
 	s.metrics.L2 = s.l2.Stats()
 	s.metrics.DRAM = s.dram.Stats
 	return s.metrics, nil
+}
+
+// parallelWorkers resolves Config.Workers to an SM worker count; 0 selects
+// the serial engine. The result depends only on the configuration — never
+// on GOMAXPROCS — so a given Config always runs the same engine.
+func (s *Simulator) parallelWorkers() int {
+	nw := s.cfg.Workers
+	if nw <= 1 {
+		return 0
+	}
+	if nw > s.cfg.NumCores {
+		nw = s.cfg.NumCores
+	}
+	return nw
+}
+
+// loopSerial is the classic engine: one goroutine visits the cores in
+// order, draining each core's shared-state continuation immediately.
+func (s *Simulator) loopSerial(cyclep *uint64, remaining *int) error {
+	cycle := *cyclep
+	defer func() { *cyclep = cycle }()
+	guard := uint64(0)
+	for *remaining > 0 {
+		guard++
+		if guard > 1<<34 {
+			return fmt.Errorf("memsim: no forward progress (cycle %d, %d warps left)", cycle, *remaining)
+		}
+		s.compBuf = s.dram.AdvanceInto(cycle, s.compBuf[:0])
+		for _, comp := range s.compBuf {
+			s.complete(comp)
+		}
+		if s.obs != nil {
+			s.sampleCycle(cycle)
+		}
+		issued := false
+		slot := &s.serialSlot
+		for c := range s.cores {
+			slot.pself = s.preDrawPself(c)
+			slot.op.kind = opNone
+			if s.issueLocal(c, cycle, slot, true) {
+				issued = true
+				s.metrics.Requests += slot.reqDelta
+				slot.reqDelta = 0
+				if slot.op.kind == opShared {
+					s.applyOp(c, slot, cycle)
+				}
+			} else if s.obs != nil {
+				s.noteStall(c)
+			}
+		}
+		for c := range s.cores {
+			s.compactCore(c, cycle, remaining, s.epochRem)
+		}
+		s.advanceEpochs(cycle)
+		if issued {
+			cycle++
+			continue
+		}
+		next := s.nextEvent(cycle)
+		if next <= cycle {
+			next = cycle + 1
+		}
+		cycle = next
+	}
+	return nil
+}
+
+// advanceEpochs moves to the next kernel launch when the current one fully
+// retires (implicit device synchronization between launches).
+func (s *Simulator) advanceEpochs(cycle uint64) {
+	for s.epoch+1 < len(s.epochRem) && s.epochRem[s.epoch] == 0 {
+		s.recordLaunch(cycle)
+		s.epoch++
+		for c := range s.cores {
+			core := &s.cores[c]
+			for core.nextBlock < len(core.blocks) && core.resident < s.cfg.BlocksPerCore {
+				before := core.nextBlock
+				s.admitBlock(core)
+				if core.nextBlock == before {
+					break
+				}
+			}
+		}
+	}
+}
+
+// preDrawPself consumes the PSelf repeat draw for core c exactly when the
+// scheduler would: one Bool per visited cycle for every core with a
+// non-empty queue and a previously scheduled warp. Drawing before the
+// issue scan keeps the stream identical between the serial engine and the
+// parallel one, where the coordinator draws for all cores in core order
+// before releasing the workers.
+func (s *Simulator) preDrawPself(c int) bool {
+	if s.cfg.Scheduler != PSelf {
+		return false
+	}
+	core := &s.cores[c]
+	if len(core.active) == 0 || core.lastWarp < 0 {
+		return false
+	}
+	return s.rnd.Bool(s.cfg.SchedPself)
 }
 
 // recordLaunch closes the current launch's per-epoch metric window.
@@ -528,38 +726,61 @@ func diffStats(now, before cache.Stats) cache.Stats {
 	}
 }
 
-// complete wakes the warps blocked on a finished DRAM read and releases
-// its MSHR entry.
+// complete routes one finished DRAM read to the core that owns its flight
+// (serial engine; the parallel coordinator routes batches instead).
 func (s *Simulator) complete(comp dram.Completion) {
-	f, ok := s.flights[comp.ID]
+	c, ok := s.flightCore[comp.ID]
 	if !ok {
 		return // fire-and-forget traffic (writebacks, prefetches)
 	}
+	delete(s.flightCore, comp.ID)
+	s.applyCompletion(c, comp)
+}
+
+// applyCompletion wakes the warps blocked on a finished DRAM read owned by
+// core c and releases its MSHR entry. Every touched structure belongs to
+// the core, so the parallel engine's workers apply their own routed
+// completions shard-locally.
+func (s *Simulator) applyCompletion(c int, comp dram.Completion) {
+	core := &s.cores[c]
+	f := core.flights[comp.ID]
 	for _, wi := range f.warps {
 		ws := &s.warps[wi]
 		ws.waiting = false
 		ws.readyAt = comp.Done
+		s.refreshReady(wi)
 	}
 	if s.obs != nil {
-		s.obs.waiting[f.core] -= len(f.warps)
+		s.obs.waiting[c] -= len(f.warps)
 	}
-	s.cores[f.core].mshr.Release(f.line)
-	delete(s.lineFlight, flightKey(f.core, f.line))
-	delete(s.flights, comp.ID)
+	core.mshr.Release(f.line)
+	delete(core.lineFlight, f.line)
+	delete(core.flights, comp.ID)
+	f.warps = f.warps[:0]
+	core.flightPool = append(core.flightPool, f)
 }
 
 // compactCore retires finished warps, admits follow-on blocks, and keeps
-// scheduler pointers valid.
-func (s *Simulator) compactCore(c int, cycle uint64, remaining *int) {
+// scheduler pointers valid. While no active warp has finished its stream
+// (pendingDone == 0) the scan is skipped outright — retirement is
+// event-driven, not a per-cycle sweep. Retirement deltas go to the
+// caller's sinks: the serial engine passes the live remaining counter and
+// epoch table, parallel workers pass per-worker sinks the coordinator
+// merges at the visit barrier.
+func (s *Simulator) compactCore(c int, cycle uint64, remaining *int, epochRem []int) {
 	core := &s.cores[c]
+	if core.pendingDone == 0 {
+		return
+	}
 	compact := core.active[:0]
 	admissions := 0
 	for _, wi := range core.active {
 		ws := &s.warps[wi]
 		if ws.done() && !ws.waiting && ws.readyAt <= cycle {
+			core.pendingDone--
 			*remaining--
 			s.blockRem[ws.block]--
-			s.epochRem[s.epochOf[ws.block]]--
+			epochRem[s.epochOf[ws.block]]--
 			if s.blockRem[ws.block] == 0 {
 				core.resident--
 				admissions++
@@ -583,18 +804,22 @@ func (s *Simulator) compactCore(c int, cycle uint64, remaining *int) {
 	}
 }
 
-// issue tries to issue one request on core c; it reports whether the core
-// consumed its issue slot.
-func (s *Simulator) issue(c int, cycle uint64) bool {
+// issueLocal runs the core-local half of core c's issue slot for one
+// visited cycle: scheduler pick, barrier arrival, the L1 access and
+// prefetcher probing, and MSHR bookkeeping. Work on the shared L2/DRAM is
+// recorded in slot.op for the shared-state drain — applied immediately in
+// the serial engine, in core order by the parallel coordinator — so both
+// engines mutate shared state through the same code in the same order. It
+// reports whether the core consumed its issue slot. allowProbe permits
+// reading the shared L2 for the MSHR-full stall check; parallel workers
+// run with it false and leave that case to the drain as an opDeferred.
+func (s *Simulator) issueLocal(c int, cycle uint64, slot *coreSlot, allowProbe bool) bool {
 	core := &s.cores[c]
 	n := len(core.active)
 	if n == 0 {
 		return false
 	}
-	ready := func(wi int) bool {
-		ws := &s.warps[wi]
-		return !ws.done() && !ws.waiting && !ws.atBarrier && ws.readyAt <= cycle
-	}
+	ready := func(wi int) bool { return s.nextReady[wi] <= cycle }
 	pick := -1
 	switch s.cfg.Scheduler {
 	case GTO:
@@ -617,7 +842,7 @@ func (s *Simulator) issue(c int, cycle uint64) bool {
 			}
 		}
 	case PSelf:
-		if core.lastWarp >= 0 && s.rnd.Bool(s.cfg.SchedPself) {
+		if core.lastWarp >= 0 && slot.pself {
 			for i := 0; i < n; i++ {
 				if core.active[i] == core.lastWarp && ready(core.active[i]) {
 					pick = i
@@ -658,16 +883,24 @@ func (s *Simulator) issue(c int, cycle uint64) bool {
 		s.arriveBarrier(c, wi, cycle)
 		return true
 	}
-	if !s.access(c, wi, req, cycle) {
+	switch s.accessLocal(c, wi, req, cycle, slot, allowProbe) {
+	case accStallMSHR:
 		// MSHR full: the slot is lost and the warp retries later.
 		s.metrics.MSHRStalls++
 		if s.obs != nil {
-			s.obs.nStallMSHR++
+			s.obs.tally[c].nStallMSHR++
 		}
 		ws.readyAt = cycle + 1
+		s.nextReady[wi] = cycle + 1
+		return true
+	case accNeedsProbe:
+		slot.op.kind = opDeferred
+		slot.op.wi = wi
+		slot.op.req = req
 		return true
 	}
-	ws.cursor++
+	s.advanceCursor(core, wi)
+	s.refreshReady(wi)
 	return true
 }
 
@@ -679,8 +912,9 @@ func (s *Simulator) arriveBarrier(c, wi int, cycle uint64) {
 	ws := &s.warps[wi]
 	b := ws.block
 	ws.atBarrier = true
+	s.nextReady[wi] = notReady
 	if s.obs != nil {
-		s.obs.nBarriers++
+		s.obs.tally[c].nBarriers++
 		s.obs.blocked[c]++
 	}
 	s.blockWait[b]++
@@ -692,12 +926,14 @@ func (s *Simulator) arriveBarrier(c, wi int, cycle uint64) {
 // releaseBarrier frees every warp parked at block b's barrier. c is the
 // core block b resides on (a block is never split across cores).
 func (s *Simulator) releaseBarrier(c, b int, cycle uint64) {
+	core := &s.cores[c]
 	for _, other := range s.blockWarps[b] {
 		ow := &s.warps[other]
 		if ow.atBarrier {
 			ow.atBarrier = false
-			ow.cursor++
 			ow.readyAt = cycle + 1
+			s.advanceCursor(core, other)
+			s.refreshReady(other)
 			if s.obs != nil {
 				s.obs.blocked[c]--
 			}
@@ -706,9 +942,27 @@ func (s *Simulator) releaseBarrier(c, b int, cycle uint64) {
 	s.blockWait[b] = 0
 }
 
-// access sends one request through the hierarchy; it returns false when
-// the request cannot be accepted (MSHR file full).
-func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
+// accResult is accessLocal's disposition of one demand request.
+type accResult uint8
+
+const (
+	// accDone: the request was accepted; slot.op may carry shared work.
+	accDone accResult = iota
+	// accStallMSHR: rejected before touching any state — the MSHR file is
+	// full and the line is nowhere in the hierarchy (allowProbe callers
+	// only).
+	accStallMSHR
+	// accNeedsProbe: undecidable without reading the shared L2; nothing
+	// was touched, the drain re-runs the access with the probe available.
+	accNeedsProbe
+)
+
+// accessLocal sends one request through the core-local half of the
+// hierarchy: secondary-miss merging, the stall-before-touch MSHR check,
+// the L1 access and the L1 prefetcher's probe/fill pass. The surviving
+// L2/DRAM work is recorded in slot.op in serial-access order for the
+// shared-state drain (applyOp).
+func (s *Simulator) accessLocal(c, wi int, req trace.Request, cycle uint64, slot *coreSlot, allowProbe bool) accResult {
 	core := &s.cores[c]
 	ws := &s.warps[wi]
 	write := req.Kind == trace.Store
@@ -716,7 +970,7 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 
 	// Secondary miss on an in-flight line: merge into the outstanding
 	// entry and wait for the same completion.
-	if reqID, inflight := s.lineFlight[flightKey(c, line)]; inflight {
+	if reqID, inflight := core.lineFlight[line]; inflight {
 		core.mshr.Allocate(line)
 		core.l1.Stats.Accesses++
 		core.l1.Stats.Misses++
@@ -725,102 +979,189 @@ func (s *Simulator) access(c, wi int, req trace.Request, cycle uint64) bool {
 		} else {
 			core.l1.Stats.Reads++
 		}
-		s.metrics.Requests++
+		slot.reqDelta++
 		if s.obs != nil {
-			s.obs.nRequests++
+			s.obs.tally[c].nRequests++
 		}
 		ws.waiting = true
 		if s.obs != nil {
 			s.obs.waiting[c]++
 		}
-		s.flights[reqID].warps = append(s.flights[reqID].warps, wi)
-		return true
+		core.flights[reqID].warps = append(core.flights[reqID].warps, wi)
+		return accDone
 	}
 
 	// Stall-before-touch: if servicing this request would need a new MSHR
 	// entry and the file is full, reject it before any cache state or
 	// statistic changes — a stalled request must replay identically.
-	// Write-through stores never allocate an MSHR.
+	// Write-through stores never allocate an MSHR. The final arbiter is a
+	// probe of the shared L2, which parallel workers must not read
+	// mid-visit; they defer the whole untouched access to the drain.
 	wouldAllocate := !(write && core.l1.Config().Writes == cache.WriteThroughNoAllocate)
-	if wouldAllocate && core.mshr.Full() && !core.l1.Probe(req.Addr) && !s.l2.Probe(req.Addr) {
-		return false
+	if wouldAllocate && core.mshr.Full() && !core.l1.Probe(req.Addr) {
+		if !allowProbe {
+			return accNeedsProbe
+		}
+		if !s.l2.Probe(req.Addr) {
+			return accStallMSHR
+		}
 	}
 
 	res := core.l1.Access(req.Addr, write)
-	s.metrics.Requests++
+	slot.reqDelta++
 	if s.obs != nil {
-		s.obs.requests.Inc()
+		s.obs.tally[c].nRequests++
 	}
-	s.l1Prefetch(core, req, line, !res.Hit, cycle)
-	if res.WroteThrough {
-		// Write-through L1: the store propagates to the L2 immediately
-		// and the warp continues behind a store buffer — it is never
-		// blocked on the write's completion.
-		if s.obs != nil {
-			s.obs.noteL2Bank(s.l2.BankOf(req.Addr), cycle)
-		}
-		l2res := s.l2.Access(req.Addr, true)
-		if !l2res.Hit {
-			if l2res.Evicted && l2res.EvictedDirty {
-				s.dram.Enqueue(l2res.EvictedAddr, true, cycle)
-			}
-			s.dram.Enqueue(s.l2.LineAddr(req.Addr), true, cycle)
-		}
-		ws.readyAt = cycle + s.cfg.L1HitLatency
-		return true
-	}
-	if res.Hit {
-		ws.readyAt = cycle + s.cfg.L1HitLatency
-		return true
-	}
-	if res.Evicted && res.EvictedDirty {
-		s.l2WriteBack(res.EvictedAddr, cycle)
-	}
-
-	if s.obs != nil {
-		s.obs.noteL2Bank(s.l2.BankOf(req.Addr), cycle)
-	}
-	l2res := s.l2.Access(req.Addr, write)
-	if pf := s.l2pf.Observe(req.PC, req.WarpID, s.l2.LineAddr(req.Addr), !l2res.Hit); pf != nil {
-		s.l2PrefetchFill(pf, cycle)
-	}
-	if l2res.Hit {
-		ws.readyAt = cycle + s.cfg.L2HitLatency
-		return true
-	}
-	if l2res.Evicted && l2res.EvictedDirty {
-		s.dram.Enqueue(l2res.EvictedAddr, true, cycle)
-	}
-
-	// The pre-check above guarantees an entry is available here.
-	core.mshr.Allocate(line)
-	reqID := s.dram.Enqueue(s.l2.LineAddr(req.Addr), write, cycle)
-	s.flights[reqID] = &flight{line: line, core: c, warps: []int{wi}}
-	s.lineFlight[flightKey(c, line)] = reqID
-	ws.waiting = true
-	if s.obs != nil {
-		s.obs.waiting[c]++
-	}
-	return true
-}
-
-// l1Prefetch runs the core's L1 prefetcher and installs candidates,
-// fetching their data from the levels below.
-func (s *Simulator) l1Prefetch(core *coreState, req trace.Request, line uint64, miss bool, cycle uint64) {
-	for _, cand := range core.l1pf.Observe(req.PC, req.WarpID, line, miss) {
+	// The L1 prefetcher's candidate pass: probe/fill decisions depend only
+	// on L1 state, so they run here; each accepted candidate's L2 lookup
+	// and DRAM fetch are recorded for the drain in candidate order.
+	op := &slot.op
+	op.cands = op.cands[:0]
+	for _, cand := range core.l1pf.Observe(req.PC, req.WarpID, line, !res.Hit) {
 		if core.l1.Probe(cand) {
 			continue
 		}
 		fill := core.l1.Fill(cand)
+		pc := pfCand{line: cand}
 		if fill.Evicted && fill.EvictedDirty {
-			s.l2WriteBack(fill.EvictedAddr, cycle)
+			pc.victim, pc.victimDirty = fill.EvictedAddr, true
 		}
-		l2res := s.l2.Access(cand, false)
+		op.cands = append(op.cands, pc)
+	}
+	if res.WroteThrough {
+		// Write-through L1: the store propagates to the L2 at the drain
+		// and the warp continues behind a store buffer — it is never
+		// blocked on the write's completion.
+		op.kind, op.outcome = opShared, accWT
+		op.wi, op.req, op.line = wi, req, line
+		ws.readyAt = cycle + s.cfg.L1HitLatency
+		return accDone
+	}
+	if res.Hit {
+		if len(op.cands) > 0 {
+			op.kind, op.outcome = opShared, accHit
+			op.wi, op.req, op.line = wi, req, line
+		}
+		ws.readyAt = cycle + s.cfg.L1HitLatency
+		return accDone
+	}
+	op.kind, op.outcome = opShared, accMiss
+	op.wi, op.req, op.line = wi, req, line
+	op.l1VictimDirty = res.Evicted && res.EvictedDirty
+	if op.l1VictimDirty {
+		op.l1Victim = res.EvictedAddr
+	}
+	// Until the drain resolves the L2 lookup the warp is provisionally
+	// blocked; the drain either unblocks it with the L2 hit latency or
+	// leaves it waiting on the DRAM flight it creates.
+	ws.waiting = true
+	return accDone
+}
+
+// applyOp runs the shared-state half of an opShared continuation — the L2
+// accesses and DRAM enqueues of one issued request, in exactly the order
+// the serial access path performs them. The serial engine calls it inline
+// after each core's issue slot; the parallel coordinator calls it at the
+// per-visit drain in core order, with every worker parked, so the L2, the
+// L2 prefetcher and the DRAM arrival sequence (and with it every request
+// id) are identical between the engines.
+func (s *Simulator) applyOp(c int, slot *coreSlot, cycle uint64) {
+	core := &s.cores[c]
+	op := &slot.op
+	for i := range op.cands {
+		cand := &op.cands[i]
+		if cand.victimDirty {
+			s.l2WriteBack(cand.victim, cycle)
+		}
+		l2res := s.l2.Access(cand.line, false)
 		if !l2res.Hit {
 			if l2res.Evicted && l2res.EvictedDirty {
 				s.dram.Enqueue(l2res.EvictedAddr, true, cycle)
 			}
-			s.dram.Enqueue(s.l2.LineAddr(cand), false, cycle)
+			s.dram.Enqueue(s.l2.LineAddr(cand.line), false, cycle)
+		}
+	}
+	switch op.outcome {
+	case accWT:
+		if s.obs != nil {
+			s.obs.noteL2Bank(s.l2.BankOf(op.req.Addr), cycle)
+		}
+		l2res := s.l2.Access(op.req.Addr, true)
+		if !l2res.Hit {
+			if l2res.Evicted && l2res.EvictedDirty {
+				s.dram.Enqueue(l2res.EvictedAddr, true, cycle)
+			}
+			s.dram.Enqueue(s.l2.LineAddr(op.req.Addr), true, cycle)
+		}
+	case accHit:
+		// Prefetch candidates only; the warp already holds its hit latency.
+	case accMiss:
+		ws := &s.warps[op.wi]
+		write := op.req.Kind == trace.Store
+		if op.l1VictimDirty {
+			s.l2WriteBack(op.l1Victim, cycle)
+		}
+		if s.obs != nil {
+			s.obs.noteL2Bank(s.l2.BankOf(op.req.Addr), cycle)
+		}
+		l2res := s.l2.Access(op.req.Addr, write)
+		if pf := s.l2pf.Observe(op.req.PC, op.req.WarpID, s.l2.LineAddr(op.req.Addr), !l2res.Hit); pf != nil {
+			s.l2PrefetchFill(pf, cycle)
+		}
+		if l2res.Hit {
+			ws.waiting = false
+			ws.readyAt = cycle + s.cfg.L2HitLatency
+			s.refreshReady(op.wi)
+			return
+		}
+		if l2res.Evicted && l2res.EvictedDirty {
+			s.dram.Enqueue(l2res.EvictedAddr, true, cycle)
+		}
+		// The stall-before-touch check guaranteed an entry is available.
+		core.mshr.Allocate(op.line)
+		reqID := s.dram.Enqueue(s.l2.LineAddr(op.req.Addr), write, cycle)
+		var f *flight
+		if n := len(core.flightPool); n > 0 {
+			f = core.flightPool[n-1]
+			core.flightPool = core.flightPool[:n-1]
+			f.line = op.line
+			f.warps = append(f.warps, op.wi)
+		} else {
+			f = &flight{line: op.line, warps: []int{op.wi}}
+		}
+		core.flights[reqID] = f
+		core.lineFlight[op.line] = reqID
+		s.flightCore[reqID] = c
+		// ws.waiting was set provisionally at issue; it sticks.
+		if s.obs != nil {
+			s.obs.waiting[c]++
+		}
+	}
+}
+
+// applyDeferred resolves an opDeferred at the drain: with the shared L2
+// now readable it re-runs the whole access, mirroring the serial engine's
+// MSHR-stall tail exactly. Nothing was touched at issue time, so the
+// re-run is the first and only execution of the access.
+func (s *Simulator) applyDeferred(c int, slot *coreSlot, cycle uint64) {
+	wi, req := slot.op.wi, slot.op.req
+	slot.op.kind = opNone
+	switch s.accessLocal(c, wi, req, cycle, slot, true) {
+	case accStallMSHR:
+		s.metrics.MSHRStalls++
+		if s.obs != nil {
+			s.obs.tally[c].nStallMSHR++
+		}
+		ws := &s.warps[wi]
+		ws.readyAt = cycle + 1
+		s.nextReady[wi] = cycle + 1
+	case accDone:
+		s.metrics.Requests += slot.reqDelta
+		slot.reqDelta = 0
+		s.advanceCursor(&s.cores[c], wi)
+		s.refreshReady(wi)
+		if slot.op.kind == opShared {
+			s.applyOp(c, slot, cycle)
 		}
 	}
 }
@@ -847,33 +1188,25 @@ func (s *Simulator) l2WriteBack(addr uint64, cycle uint64) {
 	}
 }
 
-// flightKey builds the per-core in-flight line key; simulated addresses
-// stay far below 2^56, so folding the core id into the top byte is safe.
-func flightKey(core int, line uint64) uint64 {
-	return line ^ uint64(core+1)<<56
-}
-
 // nextEvent returns the earliest future cycle at which anything can
 // happen: a warp becoming ready or a DRAM completion. It is only called
 // when no core could issue, which means every pending arrival is already
-// enqueued — making the controller's minimal-service peek exact.
+// enqueued — making the controller's minimal-service peek exact. The scan
+// reads the nextReady column only: done, waiting and parked warps sit at
+// notReady and fall out of the comparison.
 func (s *Simulator) nextEvent(cycle uint64) uint64 {
-	next := ^uint64(0)
+	next := notReady
 	for c := range s.cores {
 		for _, wi := range s.cores[c].active {
-			ws := &s.warps[wi]
-			if ws.done() || ws.waiting {
-				continue
-			}
-			if ws.readyAt > cycle && ws.readyAt < next {
-				next = ws.readyAt
+			if t := s.nextReady[wi]; t > cycle && t < next {
+				next = t
 			}
 		}
 	}
 	if t, ok := s.dram.NextCompletion(); ok && t < next {
 		next = t
 	}
-	if next == ^uint64(0) {
+	if next == notReady {
 		return cycle + 1
 	}
 	return next

@@ -6,6 +6,23 @@ import (
 	"github.com/uteda/gmap/internal/obs"
 )
 
+// coreTally is one core's plain hot-path counters, padded to a cache line
+// so adjacent cores never false-share under the parallel engine. Each
+// slot is written only by the goroutine visiting its core (the scheduler
+// loop serially, the owning SM worker in parallel) and summed in core
+// order by flush(), so the published totals are exact and identical
+// between the engines.
+type coreTally struct {
+	nStallMSHR    uint64
+	nStallBarrier uint64
+	nStallMem     uint64
+	nStallSleep   uint64
+	nIdleEmpty    uint64
+	nRequests     uint64
+	nBarriers     uint64
+	_             uint64 // pad to 64 bytes
+}
+
 // simObs holds the simulator's pre-resolved observability handles. A nil
 // *simObs is the disabled state: every call site guards with one
 // predictable branch (either `s.obs != nil` around a sampling block or a
@@ -41,26 +58,25 @@ type simObs struct {
 	bankConflicts *obs.Counter // same-cycle accesses to one L2 bank
 
 	// bankStamp[b] = cycle+1 of bank b's last access this cycle; a repeat
-	// stamp within one cycle is a conflict.
+	// stamp within one cycle is a conflict. L2 accesses happen only at
+	// the shared-state drain, so the stamps (and the conflict tally) stay
+	// single-writer under both engines.
 	bankStamp []uint64
 
-	// Plain (non-atomic) hot-path tallies. The scheduler loop is single
-	// threaded, so counting here and publishing once in flush() avoids an
-	// atomic add per core-cycle; the registry counters above carry the
-	// totals only after Run returns.
-	nStallMSHR    uint64
-	nStallBarrier uint64
-	nStallMem     uint64
-	nStallSleep   uint64
-	nIdleEmpty    uint64
-	nRequests     uint64
-	nBarriers     uint64
+	// Hot-path tallies, sharded per core so SM workers count shard-local;
+	// flush() publishes the core-order sums to the registry counters
+	// after Run returns. nBankConflict stays a scalar: it is only written
+	// at the drain.
+	tally         []coreTally
 	nBankConflict uint64
 
 	// Incremental per-core occupancy shadows, maintained at warp state
 	// transitions so stall classification is O(1) instead of rescanning
 	// the core's warps every stalled cycle. waiting[c] counts warps
 	// blocked on DRAM, blocked[c] counts warps parked at a barrier.
+	// Like the tallies, each slot has a single writer per visit: the
+	// goroutine visiting core c (DRAM-wait transitions) while barriers
+	// stay core-local by construction (a block never spans cores).
 	waiting []int
 	blocked []int
 }
@@ -92,6 +108,7 @@ func newSimObs(r *obs.Registry, cores, banks int) *simObs {
 		bankConflicts: r.Counter("memsim.l2.bank_conflicts"),
 
 		bankStamp: make([]uint64, banks),
+		tally:     make([]coreTally, cores),
 		waiting:   make([]int, cores),
 		blocked:   make([]int, cores),
 	}
@@ -102,24 +119,33 @@ func newSimObs(r *obs.Registry, cores, banks int) *simObs {
 	return o
 }
 
-// sampleCycle records the per-core and whole-machine series for one
-// simulated cycle. Called once per scheduler iteration when enabled; the
-// samplers' stride check keeps the steady-state cost to one atomic load
-// per series.
-func (s *Simulator) sampleCycle(cycle uint64) {
+// sampleDue reports whether this cycle is a sampling cycle. Every memsim
+// sampler is offered the same cycle sequence, so they all advance in
+// lockstep: one Due check on the unconditionally sampled dram_inflight
+// series gates the whole pass, and the steady-state cost per scheduler
+// iteration is a single atomic load.
+func (o *simObs) sampleDue(cycle uint64) bool {
+	return o.inFlight.Due(cycle)
+}
+
+// sampleCore records core c's series for one sampling cycle. The sampled
+// state is core-owned, so under the parallel engine each SM worker
+// samples its own cores — after applying the cycle's routed completions,
+// matching the serial engine's completion-then-sample order.
+func (s *Simulator) sampleCore(c int, cycle uint64) {
 	o := s.obs
-	// Every memsim sampler is offered the same cycle sequence, so they
-	// all advance in lockstep: one Due check on the unconditionally
-	// sampled dram_inflight series gates the whole pass, and the
-	// steady-state cost per scheduler iteration is a single atomic load.
-	if !o.inFlight.Due(cycle) {
-		return
-	}
-	for c := range s.cores {
-		core := &s.cores[c]
-		o.queueDepth[c].Sample(cycle, float64(len(core.active)))
-		o.mshrDepth[c].Sample(cycle, float64(core.mshr.InFlight()))
-	}
+	core := &s.cores[c]
+	o.queueDepth[c].Sample(cycle, float64(len(core.active)))
+	o.mshrDepth[c].Sample(cycle, float64(core.mshr.InFlight()))
+}
+
+// sampleMachine records the whole-machine series for one sampling cycle.
+// The inputs — cache hit/miss statistics and the outstanding-flight count
+// — are untouched by completion delivery, so the parallel coordinator
+// samples them after routing completions and before releasing the
+// workers, which is exactly the serial engine's read point.
+func (s *Simulator) sampleMachine(cycle uint64) {
+	o := s.obs
 	var l1, l1acc uint64
 	for c := range s.cores {
 		l1 += s.cores[c].l1.Stats.Misses
@@ -131,7 +157,20 @@ func (s *Simulator) sampleCycle(cycle uint64) {
 	if l2 := s.l2.Stats(); l2.Accesses > 0 {
 		o.l2MissRate.Sample(cycle, l2.MissRate())
 	}
-	o.inFlight.Sample(cycle, float64(len(s.flights)))
+	o.inFlight.Sample(cycle, float64(len(s.flightCore)))
+}
+
+// sampleCycle records every series for one simulated cycle (serial
+// engine; the parallel engine splits the same work between workers and
+// coordinator through sampleCore/sampleMachine).
+func (s *Simulator) sampleCycle(cycle uint64) {
+	if !s.obs.sampleDue(cycle) {
+		return
+	}
+	for c := range s.cores {
+		s.sampleCore(c, cycle)
+	}
+	s.sampleMachine(cycle)
 }
 
 // noteStall classifies why core c failed to issue this cycle, with
@@ -142,13 +181,13 @@ func (s *Simulator) noteStall(c int) {
 	o := s.obs
 	switch {
 	case len(s.cores[c].active) == 0:
-		o.nIdleEmpty++
+		o.tally[c].nIdleEmpty++
 	case o.waiting[c] > 0:
-		o.nStallMem++
+		o.tally[c].nStallMem++
 	case o.blocked[c] > 0:
-		o.nStallBarrier++
+		o.tally[c].nStallBarrier++
 	default:
-		o.nStallSleep++
+		o.tally[c].nStallSleep++
 	}
 }
 
@@ -164,18 +203,31 @@ func (o *simObs) noteL2Bank(bank int, cycle uint64) {
 
 // flush publishes the hot-path tallies to their registry counters and
 // zeroes them. Run defers it, so the counters hold the run's totals on
-// both the success and the no-forward-progress return paths.
+// both the success and the no-forward-progress return paths. Summing the
+// per-core shards in core order keeps the totals independent of which
+// goroutine counted what.
 func (o *simObs) flush() {
-	o.stallMSHR.Add(o.nStallMSHR)
-	o.stallBarrier.Add(o.nStallBarrier)
-	o.stallMem.Add(o.nStallMem)
-	o.stallSleep.Add(o.nStallSleep)
-	o.idleEmpty.Add(o.nIdleEmpty)
-	o.requests.Add(o.nRequests)
-	o.barriers.Add(o.nBarriers)
+	var sum coreTally
+	for c := range o.tally {
+		t := &o.tally[c]
+		sum.nStallMSHR += t.nStallMSHR
+		sum.nStallBarrier += t.nStallBarrier
+		sum.nStallMem += t.nStallMem
+		sum.nStallSleep += t.nStallSleep
+		sum.nIdleEmpty += t.nIdleEmpty
+		sum.nRequests += t.nRequests
+		sum.nBarriers += t.nBarriers
+		o.tally[c] = coreTally{}
+	}
+	o.stallMSHR.Add(sum.nStallMSHR)
+	o.stallBarrier.Add(sum.nStallBarrier)
+	o.stallMem.Add(sum.nStallMem)
+	o.stallSleep.Add(sum.nStallSleep)
+	o.idleEmpty.Add(sum.nIdleEmpty)
+	o.requests.Add(sum.nRequests)
+	o.barriers.Add(sum.nBarriers)
 	o.bankConflicts.Add(o.nBankConflict)
-	o.nStallMSHR, o.nStallBarrier, o.nStallMem, o.nStallSleep = 0, 0, 0, 0
-	o.nIdleEmpty, o.nRequests, o.nBarriers, o.nBankConflict = 0, 0, 0, 0
+	o.nBankConflict = 0
 }
 
 // noteLaunch records one retired launch's metric window.

@@ -1,0 +1,212 @@
+package memsim
+
+// The parallel engine: SM cores execute on worker goroutines in lockstep
+// per visited cycle, meeting the shared L2/DRAM only through a
+// coordinator-owned drain that replays their continuations in
+// deterministic core order. DESIGN.md §12 documents the seam and the
+// bit-identity argument; TestSimParallelMatchesSerial enforces it.
+//
+// Per visited cycle:
+//
+//	coordinator  advance DRAM, route completions to owning cores,
+//	             sample machine series, pre-draw PSelf decisions
+//	workers      per owned core: apply routed completions, sample core
+//	             series, run the core-local issue half (scheduler, L1,
+//	             MSHR), retire finished warps into per-worker sinks
+//	coordinator  drain each core's L2/DRAM continuation in core order,
+//	             merge retirement sinks, flip launch epochs, pick the
+//	             next cycle
+//
+// Everything a worker touches is owned by its cores (warp state, L1,
+// MSHR, flights, obs shards); everything shared is touched only by the
+// coordinator with all workers parked at the visit barrier.
+
+import "fmt"
+
+// simWorker is one SM worker goroutine's state: the contiguous core range
+// it owns, its rendezvous channels, and its retirement sinks (merged by
+// the coordinator at each visit barrier, so the live remaining counter
+// and epoch table stay coordinator-owned).
+type simWorker struct {
+	lo, hi int // owns cores [lo, hi)
+	start  chan visitMsg
+	done   chan struct{}
+
+	sinkRemaining int
+	sinkEpoch     []int
+
+	// panicked records a recovered panic from workerVisit; the
+	// coordinator re-raises it on Run's goroutine so the runner's
+	// existing per-job panic isolation contains it.
+	panicked interface{}
+}
+
+// visitMsg releases a worker for one visited cycle.
+type visitMsg struct {
+	cycle  uint64
+	sample bool // this is a sampling cycle (obs enabled and due)
+}
+
+// workerLoop runs one SM worker until its start channel closes.
+func (s *Simulator) workerLoop(w *simWorker) {
+	for v := range w.start {
+		s.workerVisit(w, v)
+		w.done <- struct{}{}
+	}
+}
+
+// workerVisit runs the core-local half of one visited cycle for every
+// core the worker owns, in core order — which makes the interleaving of
+// per-core effects identical to the serial engine's, since no state is
+// shared between cores in this phase.
+func (s *Simulator) workerVisit(w *simWorker, v visitMsg) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.panicked = r
+		}
+	}()
+	for c := w.lo; c < w.hi; c++ {
+		slot := &s.slots[c]
+		for _, comp := range slot.comps {
+			s.applyCompletion(c, comp)
+		}
+		slot.comps = slot.comps[:0]
+		if v.sample {
+			s.sampleCore(c, v.cycle)
+		}
+		slot.op.kind = opNone
+		slot.issued = s.issueLocal(c, v.cycle, slot, false)
+		if !slot.issued && s.obs != nil {
+			s.noteStall(c)
+		}
+		s.compactCore(c, v.cycle, &w.sinkRemaining, w.sinkEpoch)
+	}
+}
+
+// loopParallel is the parallel engine's scheduler loop. It produces
+// bit-identical results to loopSerial for any worker count: every
+// divergence channel — DRAM arrival order, L2 access order, rng draws,
+// retirement bookkeeping, obs series — is either core-local or replayed
+// by the coordinator in core order at the visit barrier.
+func (s *Simulator) loopParallel(nw int, cyclep *uint64, remaining *int) error {
+	cycle := *cyclep
+	defer func() { *cyclep = cycle }()
+
+	s.slots = make([]coreSlot, len(s.cores))
+	workers := make([]*simWorker, nw)
+	for i := range workers {
+		w := &simWorker{
+			lo:        i * len(s.cores) / nw,
+			hi:        (i + 1) * len(s.cores) / nw,
+			start:     make(chan visitMsg, 1),
+			done:      make(chan struct{}, 1),
+			sinkEpoch: make([]int, len(s.epochRem)),
+		}
+		workers[i] = w
+		go s.workerLoop(w)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		for _, w := range workers {
+			close(w.start)
+		}
+	}
+	defer stop()
+
+	guard := uint64(0)
+	for *remaining > 0 {
+		guard++
+		if guard > 1<<34 {
+			return fmt.Errorf("memsim: no forward progress (cycle %d, %d warps left)", cycle, *remaining)
+		}
+		// Coordinator pre-phase: advance the memory system and route each
+		// completion to the core owning its flight. Per-core application
+		// order preserves the controller's completion order, and distinct
+		// cores' completions commute (a flight has one owning core, a
+		// warp waits on exactly one flight), so shard-local delivery is
+		// exact.
+		s.compBuf = s.dram.AdvanceInto(cycle, s.compBuf[:0])
+		for _, comp := range s.compBuf {
+			c, ok := s.flightCore[comp.ID]
+			if !ok {
+				continue
+			}
+			delete(s.flightCore, comp.ID)
+			s.slots[c].comps = append(s.slots[c].comps, comp)
+		}
+		sample := s.obs != nil && s.obs.sampleDue(cycle)
+		if sample {
+			s.sampleMachine(cycle)
+		}
+		if s.cfg.Scheduler == PSelf {
+			// Consume the shared rng stream in core order before the
+			// workers run, exactly as the serial issue scan would.
+			for c := range s.cores {
+				s.slots[c].pself = s.preDrawPself(c)
+			}
+		}
+
+		// Worker phase.
+		v := visitMsg{cycle: cycle, sample: sample}
+		for _, w := range workers {
+			w.start <- v
+		}
+		for _, w := range workers {
+			<-w.done
+		}
+		for _, w := range workers {
+			if r := w.panicked; r != nil {
+				stop()
+				panic(fmt.Sprintf("memsim: SM worker panic: %v", r))
+			}
+		}
+
+		// Coordinator drain: replay each core's shared-state continuation
+		// in core order — the exact order the serial engine interleaves
+		// L2 accesses, prefetcher observations and DRAM arrivals.
+		issued := false
+		for c := range s.cores {
+			slot := &s.slots[c]
+			if slot.issued {
+				issued = true
+				switch slot.op.kind {
+				case opShared:
+					s.metrics.Requests += slot.reqDelta
+					slot.reqDelta = 0
+					s.applyOp(c, slot, cycle)
+					slot.op.kind = opNone
+				case opDeferred:
+					s.applyDeferred(c, slot, cycle)
+				default:
+					s.metrics.Requests += slot.reqDelta
+					slot.reqDelta = 0
+				}
+			}
+		}
+		for _, w := range workers {
+			*remaining += w.sinkRemaining
+			w.sinkRemaining = 0
+			for e, d := range w.sinkEpoch {
+				if d != 0 {
+					s.epochRem[e] += d
+					w.sinkEpoch[e] = 0
+				}
+			}
+		}
+		s.advanceEpochs(cycle)
+		if issued {
+			cycle++
+			continue
+		}
+		next := s.nextEvent(cycle)
+		if next <= cycle {
+			next = cycle + 1
+		}
+		cycle = next
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Property tests for the parallel engine: Config.Workers is a pure
+// execution detail. Metrics, every observability export and every trace
+// export must be bit-identical between the serial engine and the SM-
+// worker engine for any worker count, across randomized configurations,
+// streams and launch sequences — including barriers, bounded MSHR files,
+// both prefetchers and every scheduling policy.
+package memsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uteda/gmap/internal/dram"
+	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
+	"github.com/uteda/gmap/internal/prefetch"
+	"github.com/uteda/gmap/internal/proptest"
+	"github.com/uteda/gmap/internal/trace"
+)
+
+// simRunOut is one fully instrumented run: the metrics plus every export
+// surface a user could diff — the obs snapshot, the cycle-keyed series,
+// and the span trace (exported with an injected deterministic clock so
+// wall timestamps cannot excuse a byte difference).
+type simRunOut struct {
+	m          memsim.Metrics
+	snapshot   []byte
+	series     []byte
+	traceJSONL []byte
+}
+
+// runWithWorkers runs launches through one simulator with the given
+// worker count, observability and tracing attached.
+func runWithWorkers(t *testing.T, seed uint64, launches [][]trace.WarpTrace, cfg memsim.Config, workers int) simRunOut {
+	t.Helper()
+	reg := obs.New()
+	var clk int64
+	tr := obstrace.NewWithOptions(obstrace.Options{Now: func() time.Time {
+		clk++
+		return time.Unix(0, clk*1000)
+	}})
+	root := tr.Root("test")
+	cfg.Obs = reg
+	cfg.TraceSpan = root
+	cfg.Workers = workers
+	sim, err := memsim.NewSequence(launches, cfg)
+	if err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	root.End()
+	var snap, series, tj bytes.Buffer
+	if err := reg.WriteJSON(&snap); err != nil {
+		t.Fatalf("seed %d workers %d: snapshot: %v", seed, workers, err)
+	}
+	if err := reg.WriteSeriesJSONL(&series); err != nil {
+		t.Fatalf("seed %d workers %d: series: %v", seed, workers, err)
+	}
+	if err := tr.WriteJSONL(&tj); err != nil {
+		t.Fatalf("seed %d workers %d: trace: %v", seed, workers, err)
+	}
+	return simRunOut{m: m, snapshot: snap.Bytes(), series: series.Bytes(), traceJSONL: tj.Bytes()}
+}
+
+// TestSimParallelMatchesSerial generates random machines and workloads
+// and requires the parallel engine's outputs to be bit-identical to the
+// serial engine's at every worker count — DeepEqual metrics (including
+// the per-launch breakdown) and byte-equal obs snapshot, series and
+// trace exports. Run it under -race to also certify the engine
+// data-race-free; GOMAXPROCS must not matter (the CI matrix pins it).
+func TestSimParallelMatchesSerial(t *testing.T) {
+	n := proptest.N(t, 60, 400)
+	for i := 0; i < n; i++ {
+		seed := uint64(0x9a7a11e1) + uint64(i)*7919
+		g := proptest.New(seed)
+		l1cfg := g.CacheConfig()
+		l2cfg := g.CacheConfig()
+		// Bank count must divide the L2's set count.
+		banks := []int{1, 2, 4}[g.R.Intn(3)]
+		for l2cfg.SizeBytes/(l2cfg.Ways*l2cfg.LineSize) < banks {
+			banks /= 2
+		}
+		// Single- and multi-launch sequences, with barrier-carrying warps.
+		launches := [][]trace.WarpTrace{g.WarpSet(8, 0.08)}
+		if g.R.Intn(3) == 0 {
+			launches = append(launches, g.WarpSet(5, 0.08))
+		}
+		cfg := memsim.Config{
+			NumCores:     1 + g.R.Intn(6),
+			L1:           l1cfg,
+			L2:           l2cfg,
+			L2Banks:      banks,
+			MSHRsPerCore: []int{0, 1, 4, 64}[g.R.Intn(4)],
+			DRAM:         dram.DefaultGDDR3(),
+			Scheduler:    []memsim.SchedPolicy{memsim.LRR, memsim.GTO, memsim.PSelf}[g.R.Intn(3)],
+			SchedPself:   0.7,
+			Seed:         g.R.Uint64(),
+		}
+		if g.R.Intn(3) == 0 {
+			cfg.NewL1Prefetcher = func() (prefetch.Prefetcher, error) {
+				return prefetch.NewStride(prefetch.DefaultStrideConfig())
+			}
+		}
+		// The L2 prefetcher instance is stateful: build a fresh one per
+		// run so no training state leaks between the compared engines.
+		useL2pf := g.R.Intn(3) == 0
+		scfg := prefetch.DefaultStreamConfig()
+		scfg.LineSize = uint64(l2cfg.LineSize)
+		mkCfg := func() memsim.Config {
+			c := cfg
+			if useL2pf {
+				p, err := prefetch.NewStream(scfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				c.L2Prefetcher = p
+			}
+			return c
+		}
+
+		serial := runWithWorkers(t, seed, launches, mkCfg(), 1)
+		for _, w := range []int{2, 8} {
+			par := runWithWorkers(t, seed, launches, mkCfg(), w)
+			if !reflect.DeepEqual(serial.m, par.m) {
+				t.Fatalf("seed %d: metrics diverge at workers=%d\n serial:   %+v\n parallel: %+v",
+					seed, w, serial.m, par.m)
+			}
+			if !bytes.Equal(serial.snapshot, par.snapshot) {
+				t.Fatalf("seed %d: obs snapshot diverges at workers=%d\n serial:\n%s\n parallel:\n%s",
+					seed, w, serial.snapshot, par.snapshot)
+			}
+			if !bytes.Equal(serial.series, par.series) {
+				t.Fatalf("seed %d: obs series export diverges at workers=%d", seed, w)
+			}
+			if !bytes.Equal(serial.traceJSONL, par.traceJSONL) {
+				t.Fatalf("seed %d: trace export diverges at workers=%d\n serial:\n%s\n parallel:\n%s",
+					seed, w, serial.traceJSONL, par.traceJSONL)
+			}
+		}
+	}
+}
+
+// panicPrefetcher panics on its nth Observe call — standing in for any
+// defect inside an SM worker's shard-local pipeline.
+type panicPrefetcher struct{ calls, after int }
+
+func (p *panicPrefetcher) Observe(uint64, int, uint64, bool) []uint64 {
+	p.calls++
+	if p.calls >= p.after {
+		panic("injected SM fault")
+	}
+	return nil
+}
+
+func (p *panicPrefetcher) Reset() {}
+
+// TestSimParallelWorkerPanicPropagates pins the containment contract: a
+// panic inside an SM worker goroutine must not kill the process from a
+// foreign goroutine — the coordinator re-raises it on Run's own
+// goroutine, where a caller's recover (the runner's per-job panic
+// isolation) can contain it.
+func TestSimParallelWorkerPanicPropagates(t *testing.T) {
+	g := proptest.New(42)
+	cfg := memsim.Config{
+		NumCores: 2,
+		L1:       g.CacheConfig(),
+		L2:       g.CacheConfig(),
+		L2Banks:  1,
+		DRAM:     dram.DefaultGDDR3(),
+		Workers:  2,
+		NewL1Prefetcher: func() (prefetch.Prefetcher, error) {
+			return &panicPrefetcher{after: 3}, nil
+		},
+	}
+	sim, err := memsim.New(g.WarpSet(8, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed: Run returned normally")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "memsim: SM worker panic") {
+			t.Fatalf("panic lost its SM-worker provenance: %v", msg)
+		}
+	}()
+	sim.Run()
+	t.Fatal("expected Run to panic")
+}
+
+// TestSimParallelWorkerCap pins that Workers beyond NumCores is clamped
+// rather than spawning idle goroutines, and that Workers on a one-core
+// machine still runs (and matches) the serial engine.
+func TestSimParallelWorkerCap(t *testing.T) {
+	g := proptest.New(7)
+	warps := g.WarpSet(6, 0.1)
+	cfg := memsim.Config{
+		NumCores: 1,
+		L1:       g.CacheConfig(),
+		L2:       g.CacheConfig(),
+		L2Banks:  1,
+		DRAM:     dram.DefaultGDDR3(),
+	}
+	run := func(workers int) memsim.Metrics {
+		c := cfg
+		c.Workers = workers
+		sim, err := memsim.New(warps, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	serial := run(0)
+	for _, w := range []int{1, 2, 16} {
+		if got := run(w); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d diverges on a 1-core machine:\n serial: %+v\n got:    %+v", w, serial, got)
+		}
+	}
+}

@@ -6,9 +6,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"github.com/uteda/gmap/internal/memsim"
+	"github.com/uteda/gmap/internal/prefetch"
+	"github.com/uteda/gmap/internal/proptest"
 )
 
 // countingJobs returns jobs that record how many actually execute.
@@ -221,5 +226,157 @@ func TestResumeWithChangedValueTypeRecomputes(t *testing.T) {
 	}
 	if executed.Load() != 1 || results[0].Value != 0 {
 		t.Errorf("stale entry not recomputed: executed=%d results=%+v", executed.Load(), results)
+	}
+}
+
+// faultyPrefetcher panics partway through a simulation — standing in for
+// a defect inside one SM worker goroutine of memsim's parallel engine.
+type faultyPrefetcher struct{ calls int }
+
+func (p *faultyPrefetcher) Observe(uint64, int, uint64, bool) []uint64 {
+	p.calls++
+	if p.calls >= 5 {
+		panic("injected mid-epoch SM fault")
+	}
+	return nil
+}
+
+func (p *faultyPrefetcher) Reset() {}
+
+// simFigures is the checkpointed reduction of one simulation's metrics —
+// exported fields only, like eval's point samples, so the JSON
+// round-trip through the checkpoint is exact.
+type simFigures struct {
+	Cycles     uint64  `json:"cycles"`
+	Requests   uint64  `json:"requests"`
+	MSHRStalls uint64  `json:"mshr_stalls"`
+	L1Miss     float64 `json:"l1_miss"`
+	L2Miss     float64 `json:"l2_miss"`
+	RBL        float64 `json:"rbl"`
+}
+
+func figuresOf(m memsim.Metrics) simFigures {
+	return simFigures{
+		Cycles:     m.Cycles,
+		Requests:   m.Requests,
+		MSHRStalls: m.MSHRStalls,
+		L1Miss:     m.L1MissRate(),
+		L2Miss:     m.L2MissRate(),
+		RBL:        m.DRAM.RowBufferLocality(),
+	}
+}
+
+// TestCheckpointResumeAfterSimWorkerPanic extends the crash matrix to
+// the parallel simulation engine: a panic raised mid-epoch inside one SM
+// worker goroutine must be contained by the runner's per-job panic
+// isolation — failing only that job, never the process, never the
+// checkpoint — and a resume afterwards must re-run just the poisoned job
+// and reproduce the serial engine's figures bit-identically.
+func TestCheckpointResumeAfterSimWorkerPanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "simpanic.ckpt")
+	warps := proptest.New(0xfa17).WarpSet(8, 0.05)
+	// The nightly soak rotates the engine width through GMAP_SIM_WORKERS
+	// (serial, two workers, more workers than cores); results must be
+	// identical at every setting, so the serial reference below is fixed.
+	simWorkers := 2
+	if v := os.Getenv("GMAP_SIM_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad GMAP_SIM_WORKERS %q: %v", v, err)
+		}
+		simWorkers = n
+	}
+	baseCfg := func(i int) memsim.Config {
+		cfg := memsim.DefaultConfig()
+		cfg.NumCores = 2
+		cfg.Workers = simWorkers
+		cfg.Seed = uint64(i)
+		return cfg
+	}
+	simJobs := func(arm *atomic.Bool) []Job[simFigures] {
+		jobs := make([]Job[simFigures], 4)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[simFigures]{
+				Key: JobKey("simpanic", fmt.Sprint(i)),
+				Run: func(ctx context.Context) (simFigures, error) {
+					cfg := baseCfg(i)
+					if i == 2 && arm != nil && arm.CompareAndSwap(true, false) {
+						cfg.NewL1Prefetcher = func() (prefetch.Prefetcher, error) {
+							return &faultyPrefetcher{}, nil
+						}
+					}
+					sim, err := memsim.New(warps, cfg)
+					if err != nil {
+						return simFigures{}, err
+					}
+					m, err := sim.Run()
+					if err != nil {
+						return simFigures{}, err
+					}
+					return figuresOf(m), nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	arm := &atomic.Bool{}
+	arm.Store(true)
+	first, stats1, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path}, simJobs(arm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Completed != 3 || stats1.Failed != 1 {
+		t.Fatalf("first run stats = %+v, want 3 completed / 1 failed", stats1)
+	}
+	if first[2].Err == nil || !strings.Contains(first[2].Err.Error(), "panicked") {
+		t.Fatalf("poisoned job error = %v, want contained panic", first[2].Err)
+	}
+	// The parallel engine wraps a worker-goroutine panic before rethrowing
+	// it on Run's goroutine; the serial engine (GMAP_SIM_WORKERS=1 in the
+	// rotation) surfaces the raw fault.
+	if simWorkers > 1 && !strings.Contains(first[2].Err.Error(), "SM worker panic") {
+		t.Fatalf("poisoned job error = %v, want the SM-worker panic wrapper", first[2].Err)
+	}
+
+	// Resume: only the panicked job re-runs, and every figure matches a
+	// direct serial-engine run of the same configuration.
+	var executed atomic.Int32
+	counted := simJobs(nil)
+	for i := range counted {
+		run := counted[i].Run
+		counted[i].Run = func(ctx context.Context) (simFigures, error) {
+			executed.Add(1)
+			return run(ctx)
+		}
+	}
+	resumed, stats2, err := Run(context.Background(),
+		Options{Workers: 2, Checkpoint: path, Resume: true}, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 || stats2.Skipped != 3 || stats2.Completed != 1 {
+		t.Fatalf("resume executed %d jobs, stats = %+v; want 1 executed / 3 skipped", executed.Load(), stats2)
+	}
+	for i := range resumed {
+		if resumed[i].Err != nil {
+			t.Fatalf("job %d failed after resume: %v", i, resumed[i].Err)
+		}
+		cfg := baseCfg(i)
+		cfg.Workers = 0 // serial reference engine
+		sim, err := memsim.New(warps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed[i].Value != figuresOf(want) {
+			t.Errorf("job %d figures diverge from the serial engine after resume:\n got:  %+v\n want: %+v",
+				i, resumed[i].Value, figuresOf(want))
+		}
 	}
 }
