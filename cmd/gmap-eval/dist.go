@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/uteda/gmap/internal/dist"
+	"github.com/uteda/gmap/internal/serve/api"
+)
+
+// distFlags are the distributed-sweep knobs; the sweep-shape flags
+// (-exp, -benchmarks, -scale, ...) are shared with the serial path.
+type distFlags struct {
+	listen   string        // -dist-listen: coordinator mode
+	addrFile string        // -dist-addr-file
+	parts    int           // -dist-parts
+	leaseTTL time.Duration // -dist-lease-ttl
+	worker   string        // -worker: worker mode
+}
+
+// runCoordinator distributes the sweep: partition the job space, lease
+// parts to workers over HTTP, merge streamed results into the
+// -checkpoint ledger, and render the merged report once every job is
+// recorded. The ledger is the only durable state — re-running the same
+// command over it resumes where the previous coordinator died.
+func runCoordinator(ctx context.Context, spec api.JobSpec, df distFlags, ledger string, w io.Writer, logf func(string, ...interface{})) error {
+	if ledger == "" {
+		return fmt.Errorf("-dist-listen requires -checkpoint (the merge ledger)")
+	}
+	c, err := dist.NewCoordinator(dist.CoordinatorOptions{
+		Spec:     spec,
+		Parts:    df.parts,
+		LeaseTTL: df.leaseTTL,
+		Ledger:   ledger,
+		Logf:     logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	srv, err := c.Serve(ctx, df.listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	fmt.Fprintf(os.Stderr, "gmap-eval: coordinating %s on http://%s (%+v)\n", spec.Experiment, srv.Addr(), c.StatusSnapshot())
+	if df.addrFile != "" {
+		if err := os.WriteFile(df.addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := c.WaitDone(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gmap-eval: interrupted; merged points saved to %s, re-run to resume\n", ledger)
+		return err
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return c.WriteReport(w)
+}
+
+// runWorker joins a coordinator and processes leases until the sweep
+// completes. The sweep's shape comes from the coordinator inside each
+// lease grant; only execution knobs are local.
+func runWorker(ctx context.Context, url string, workers, simWorkers int, logf func(string, ...interface{})) error {
+	return dist.RunWorker(ctx, dist.WorkerOptions{
+		Coordinator: url,
+		Workers:     workers,
+		SimWorkers:  simWorkers,
+		Logf:        logf,
+	})
+}

@@ -14,6 +14,14 @@
 //	gmap-eval -exp all -out results.txt
 //	gmap-eval -exp fig7 -benchmarks aes,kmeans,bfs -cores 8
 //	gmap-eval -exp all -checkpoint run.ckpt -resume -summary run.json
+//
+// A sweep can also be split across processes (and machines): one
+// coordinator partitions the job space and merges streamed results into
+// the -checkpoint ledger, N workers execute leased partitions. The
+// merged report is byte-identical to a serial -no-timings run:
+//
+//	gmap-eval -exp fig6a -dist-listen :9500 -checkpoint fig6a.ckpt
+//	gmap-eval -worker http://host:9500   # on each worker machine
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"github.com/uteda/gmap"
 	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/serve/api"
 )
 
 func main() {
@@ -59,16 +68,64 @@ func main() {
 		attrOut     = flag.String("attr-out", "", "write per-π / per-PC accuracy-attribution reports to this file: markdown if the path ends in .md, else JSON (- for stdout)")
 		attrThresh  = flag.Float64("attr-threshold", 2, "figure-error level above which a benchmark is attributed (pp for rates, % for magnitudes; with -attr-out)")
 		attrTop     = flag.Int("attr-top", 8, "ranked π / PC entries kept per attribution report")
+		distListen  = flag.String("dist-listen", "", "coordinate a distributed sweep on this address (:0 for an ephemeral port); requires -checkpoint as the merge ledger")
+		distAddr    = flag.String("dist-addr-file", "", "write the coordinator's bound address to this file (for scripts using -dist-listen :0)")
+		distParts   = flag.Int("dist-parts", 0, "partitions of the distributed job space (0 = 8; capped at the job count)")
+		distTTL     = flag.Duration("dist-lease-ttl", 0, "lease heartbeat deadline before a worker's partition is re-leased (0 = 30s)")
+		workerURL   = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL instead of sweeping locally")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *workerURL != "" && *distListen != "" {
+		fatal(fmt.Errorf("-worker and -dist-listen are mutually exclusive"))
 	}
 
 	// Ctrl-C cancels in-flight sweeps cleanly: completed points are
 	// already in the checkpoint, so a -resume re-run picks up from there.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var distLogf func(string, ...interface{})
+	if !*quiet {
+		distLogf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *workerURL != "" {
+		if err := runWorker(ctx, *workerURL, *workers, *simWorkers, distLogf); err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
+	if *distListen != "" {
+		spec := api.JobSpec{
+			Kind:        api.KindSweep,
+			Experiment:  *exp,
+			Scale:       *scale,
+			ScaleFactor: *scaleFactor,
+			Cores:       *cores,
+			Seed:        *seed,
+		}
+		if *benchmarks != "" {
+			spec.Benchmarks = strings.Split(*benchmarks, ",")
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		df := distFlags{listen: *distListen, addrFile: *distAddr, parts: *distParts, leaseTTL: *distTTL}
+		if err := runCoordinator(ctx, spec, df, *checkpoint, w, distLogf); err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
 
 	opts := gmap.ExperimentOptions{
 		Scale:        *scale,

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/uteda/gmap/internal/dist"
 	"github.com/uteda/gmap/internal/obs"
 	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/serve"
@@ -37,23 +38,42 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":9400", "listen address; use :0 or 127.0.0.1:0 for an ephemeral port (the bound address is logged)")
-		addrFile   = flag.String("addr-file", "", "write the actually-bound address to this file (for scripts using -addr :0)")
-		storeDir   = flag.String("store", "gmap-store", "content-addressed store root (profiles, results, job journal, checkpoints)")
-		workers    = flag.Int("workers", 1, "jobs executing concurrently")
-		depth      = flag.Int("queue-depth", 64, "admitted-but-not-running backlog bound; beyond it submissions get 429")
-		weights    = flag.String("tenant-weights", "", "per-tenant scheduling weights, e.g. team-a=3,team-b=1 (unlisted tenants weigh 1)")
-		sweepWkrs  = flag.Int("sweep-workers", 0, "runner pool size inside each sweep job (0 = all CPUs)")
-		retries    = flag.Int("retries", 0, "re-execute sweep points failing with a transient error up to N times")
-		retryWait  = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
-		fsync      = flag.Bool("fsync", false, "fsync journal/result/checkpoint writes (survives machine crash, not just SIGKILL)")
-		defTenant  = flag.String("default-tenant", "anonymous", "tenant attributed to requests without an X-Gmap-Tenant header")
-		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+		addr      = flag.String("addr", ":9400", "listen address; use :0 or 127.0.0.1:0 for an ephemeral port (the bound address is logged)")
+		addrFile  = flag.String("addr-file", "", "write the actually-bound address to this file (for scripts using -addr :0)")
+		storeDir  = flag.String("store", "gmap-store", "content-addressed store root (profiles, results, job journal, checkpoints)")
+		workers   = flag.Int("workers", 1, "jobs executing concurrently")
+		depth     = flag.Int("queue-depth", 64, "admitted-but-not-running backlog bound; beyond it submissions get 429")
+		weights   = flag.String("tenant-weights", "", "per-tenant scheduling weights, e.g. team-a=3,team-b=1 (unlisted tenants weigh 1)")
+		sweepWkrs = flag.Int("sweep-workers", 0, "runner pool size inside each sweep job (0 = all CPUs)")
+		retries   = flag.Int("retries", 0, "re-execute sweep points failing with a transient error up to N times")
+		retryWait = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before a retry, doubled per attempt with jitter")
+		fsync     = flag.Bool("fsync", false, "fsync journal/result/checkpoint writes (survives machine crash, not just SIGKILL)")
+		defTenant = flag.String("default-tenant", "anonymous", "tenant attributed to requests without an X-Gmap-Tenant header")
+		quiet     = flag.Bool("quiet", false, "suppress per-job log lines")
+		workerURL = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL instead of serving (uses -sweep-workers as the local pool size)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *workerURL != "" {
+		var logf func(string, ...interface{})
+		if !*quiet {
+			logf = func(format string, args ...interface{}) {
+				log.Printf("gmap-served: "+format, args...)
+			}
+		}
+		err := dist.RunWorker(ctx, dist.WorkerOptions{
+			Coordinator: *workerURL,
+			Workers:     *sweepWkrs,
+			Logf:        logf,
+		})
+		if err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
 
 	w, err := parseWeights(*weights)
 	if err != nil {

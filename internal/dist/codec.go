@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Wire format of one worker→coordinator result delivery (POST
+// /dist/v1/results). Binary rather than JSON because payloads are
+// themselves JSON: double-encoding would bloat every result and, worse,
+// re-marshaling could reformat the bytes and break the byte-level
+// payload-identity contract of the merged ledger. Layout:
+//
+//	magic "gmapdist1\n"
+//	uvarint leaseLen, lease bytes
+//	uvarint entryCount
+//	per entry: uvarint keyLen, key,
+//	           uvarint valueLen, value (must be valid JSON),
+//	           uvarint elapsedNS
+//
+// Every length is capped before allocation and decoded incrementally,
+// so a hostile count or length field can reject but never allocate
+// gigabytes or wrap an int (same hardening as the trace codec).
+const batchMagic = "gmapdist1\n"
+
+// Wire caps. Keys are 24-hex job hashes and leases are short tokens;
+// values are one simulation point's JSON. The caps leave generous
+// headroom over anything the pipeline produces.
+const (
+	maxLeaseLen   = 256
+	maxKeyLen     = 1024
+	maxValueLen   = 1 << 20
+	maxBatchBytes = 64 << 20
+)
+
+// Batch is a decoded result delivery.
+type Batch struct {
+	// Lease identifies the grant the results were computed under. The
+	// coordinator accepts results from revoked leases too — identity
+	// lives in the entry keys — but uses the lease to refresh liveness.
+	Lease   string
+	Entries []Entry
+}
+
+// EncodeBatch serializes a batch. It refuses entries that would exceed
+// the decode caps, so an encoded batch always round-trips.
+func EncodeBatch(b *Batch) ([]byte, error) {
+	if len(b.Lease) > maxLeaseLen {
+		return nil, fmt.Errorf("dist: lease id %d bytes exceeds cap %d", len(b.Lease), maxLeaseLen)
+	}
+	out := make([]byte, 0, 256)
+	out = append(out, batchMagic...)
+	out = binary.AppendUvarint(out, uint64(len(b.Lease)))
+	out = append(out, b.Lease...)
+	out = binary.AppendUvarint(out, uint64(len(b.Entries)))
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		if len(e.Key) == 0 || len(e.Key) > maxKeyLen {
+			return nil, fmt.Errorf("dist: entry key %d bytes outside (0, %d]", len(e.Key), maxKeyLen)
+		}
+		if len(e.Value) > maxValueLen {
+			return nil, fmt.Errorf("dist: entry %q value %d bytes exceeds cap %d", e.Key, len(e.Value), maxValueLen)
+		}
+		if !json.Valid(e.Value) {
+			return nil, fmt.Errorf("dist: entry %q value is not valid JSON", e.Key)
+		}
+		if e.ElapsedNS < 0 {
+			return nil, fmt.Errorf("dist: entry %q negative elapsed %d", e.Key, e.ElapsedNS)
+		}
+		out = binary.AppendUvarint(out, uint64(len(e.Key)))
+		out = append(out, e.Key...)
+		out = binary.AppendUvarint(out, uint64(len(e.Value)))
+		out = append(out, e.Value...)
+		out = binary.AppendUvarint(out, uint64(e.ElapsedNS))
+	}
+	return out, nil
+}
+
+// batchReader decodes capped primitives off a byte slice.
+type batchReader struct {
+	buf []byte
+	off int
+}
+
+var errTruncated = errors.New("dist: truncated batch")
+
+func (r *batchReader) uvarint(what string, cap uint64) (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad %s varint", errTruncated, what)
+	}
+	if v > cap {
+		return 0, fmt.Errorf("dist: %s %d exceeds cap %d", what, v, cap)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *batchReader) bytes(what string, n uint64) ([]byte, error) {
+	if uint64(len(r.buf)-r.off) < n {
+		return nil, fmt.Errorf("%w: %s wants %d bytes, %d left", errTruncated, what, n, len(r.buf)-r.off)
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// DecodeBatch parses a result delivery. Inputs that do not round-trip
+// through EncodeBatch are rejected with an error; no input panics or
+// allocates beyond its own length (entry slices grow incrementally, so
+// a hostile count field buys nothing).
+func DecodeBatch(data []byte) (*Batch, error) {
+	if len(data) > maxBatchBytes {
+		return nil, fmt.Errorf("dist: batch %d bytes exceeds cap %d", len(data), maxBatchBytes)
+	}
+	if len(data) < len(batchMagic) || string(data[:len(batchMagic)]) != batchMagic {
+		return nil, errors.New("dist: bad batch magic")
+	}
+	r := &batchReader{buf: data, off: len(batchMagic)}
+	leaseLen, err := r.uvarint("lease length", maxLeaseLen)
+	if err != nil {
+		return nil, err
+	}
+	lease, err := r.bytes("lease", leaseLen)
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.uvarint("entry count", maxBatchBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Lease: string(lease)}
+	for i := uint64(0); i < count; i++ {
+		keyLen, err := r.uvarint("key length", maxKeyLen)
+		if err != nil {
+			return nil, err
+		}
+		if keyLen == 0 {
+			return nil, errors.New("dist: empty entry key")
+		}
+		key, err := r.bytes("key", keyLen)
+		if err != nil {
+			return nil, err
+		}
+		valLen, err := r.uvarint("value length", maxValueLen)
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.bytes("value", valLen)
+		if err != nil {
+			return nil, err
+		}
+		if !json.Valid(val) {
+			return nil, fmt.Errorf("dist: entry %q value is not valid JSON", key)
+		}
+		elapsed, err := r.uvarint("elapsed", uint64(1)<<62)
+		if err != nil {
+			return nil, err
+		}
+		b.Entries = append(b.Entries, Entry{
+			Key:       string(key),
+			Value:     json.RawMessage(append([]byte(nil), val...)),
+			ElapsedNS: int64(elapsed),
+		})
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("dist: %d trailing bytes after batch", len(data)-r.off)
+	}
+	return b, nil
+}

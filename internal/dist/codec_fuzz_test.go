@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeBatch feeds arbitrary bytes to the lease/result wire
+// decoder. Whatever the input, the decoder must either return an error
+// or a batch that survives a clean re-encode/re-decode round trip; it
+// must never panic, and a corrupt count or length field claiming
+// gigabytes must not cause a giant allocation (the fuzzer's memory
+// limit enforces this — entry slices grow incrementally).
+func FuzzDecodeBatch(f *testing.F) {
+	good, err := EncodeBatch(sampleBatch())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])                                       // truncated mid-entry
+	f.Add([]byte(batchMagic))                                       // header only
+	f.Add(append([]byte(batchMagic), 0x00, 0xff, 0xff, 0xff, 0x7f)) // hostile entry count
+	empty, err := EncodeBatch(&Batch{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		b2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", b, b2)
+		}
+	})
+}

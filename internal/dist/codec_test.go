@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleBatch() *Batch {
+	return &Batch{
+		Lease: "lease-0042",
+		Entries: []Entry{
+			{Key: "aabbccddeeff001122334455", Value: json.RawMessage(`{"orig":0.25,"prox":0.24}`), ElapsedNS: 1234567},
+			{Key: "ffeeddccbbaa998877665544", Value: json.RawMessage(`{"err":1.5,"orig_ns":42}`), ElapsedNS: 0},
+			{Key: "k", Value: json.RawMessage(`null`), ElapsedNS: 1},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", b, got)
+	}
+}
+
+func TestBatchEmptyRoundTrip(t *testing.T) {
+	b := &Batch{Lease: "l"}
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lease != "l" || len(got.Entries) != 0 {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good, err := EncodeBatch(sampleBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte("notthemagic~~~~~"),
+		"header only":    []byte(batchMagic),
+		"truncated tail": good[:len(good)-3],
+		"trailing bytes": append(append([]byte(nil), good...), 0x00),
+		// A count field claiming a billion entries with no data behind it
+		// must reject without allocating a billion entries.
+		"hostile count": append([]byte(batchMagic), 0x00, 0xff, 0xff, 0xff, 0xff, 0x03),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}
+
+func TestBatchDecodeRejectsInvalidJSON(t *testing.T) {
+	b := sampleBatch()
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first value's payload bytes in place.
+	idx := bytes.Index(data, []byte(`{"orig"`))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	data[idx] = '}'
+	if _, err := DecodeBatch(data); err == nil {
+		t.Error("corrupted JSON payload decoded")
+	}
+}
+
+func TestBatchEncodeRejects(t *testing.T) {
+	for name, b := range map[string]*Batch{
+		"oversized lease": {Lease: strings.Repeat("x", maxLeaseLen+1)},
+		"empty key":       {Entries: []Entry{{Key: "", Value: json.RawMessage(`{}`)}}},
+		"oversized key":   {Entries: []Entry{{Key: strings.Repeat("k", maxKeyLen+1), Value: json.RawMessage(`{}`)}}},
+		"invalid JSON":    {Entries: []Entry{{Key: "k", Value: json.RawMessage(`{`)}}},
+		"negative ns":     {Entries: []Entry{{Key: "k", Value: json.RawMessage(`{}`), ElapsedNS: -1}}},
+	} {
+		if _, err := EncodeBatch(b); err == nil {
+			t.Errorf("%s: encoded successfully", name)
+		}
+	}
+}

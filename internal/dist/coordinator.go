@@ -1,0 +1,657 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/fault"
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/runner"
+	"github.com/uteda/gmap/internal/serve/api"
+)
+
+// Sentinel errors of the lease protocol.
+var (
+	// ErrLeaseGone reports an operation on a lease that expired, was
+	// stolen, or never existed. Workers treat it as "stop this shard and
+	// ask for a new lease"; over HTTP it maps to 410 Gone.
+	ErrLeaseGone = errors.New("dist: lease expired or superseded")
+	// ErrDivergent reports a result whose payload differs byte-for-byte
+	// from the already-recorded result for the same job key. Jobs are
+	// deterministic, so this can only mean two different job universes
+	// were merged; the batch is rejected before any ledger write.
+	ErrDivergent = errors.New("dist: divergent result payload")
+	// ErrForeignKey reports a result for a job key outside the sweep's
+	// enumerated universe.
+	ErrForeignKey = errors.New("dist: job key outside the sweep universe")
+)
+
+// CoordinatorOptions configures NewCoordinator.
+type CoordinatorOptions struct {
+	// Spec is the sweep to distribute (kind "sweep"; a zero Kind
+	// defaults to it). It is normalized and then shipped verbatim inside
+	// every lease grant, so workers derive the exact same eval options —
+	// and therefore the exact same job keys — as the coordinator.
+	Spec api.JobSpec
+	// Parts is the number of partitions of the job space; <= 0 defaults
+	// to 8, and it is capped at the job count. More parts than workers
+	// gives the lease loop natural rebalancing granularity.
+	Parts int
+	// LeaseTTL is how long a lease survives without a heartbeat; <= 0
+	// defaults to 30s.
+	LeaseTTL time.Duration
+	// StallFactor scales the straggler threshold: an idle worker may
+	// steal a live lease once its holder has gone StallFactor times the
+	// observed mean job duration (never less than one TTL) without
+	// delivering a result. <= 0 defaults to 8.
+	StallFactor float64
+	// Ledger is the merged checkpoint JSONL path (required): every
+	// accepted result becomes one flushed checkpoint line, and the final
+	// report is produced by replaying this file through the ordinary
+	// resume path. An existing ledger is salvaged strictly on startup —
+	// that is the coordinator-restart story.
+	Ledger string
+	// FS routes ledger I/O; nil selects the real filesystem. Chaos tests
+	// substitute a fault.InjectFS to tear writes.
+	FS fault.FS
+	// Obs, when non-nil, mirrors lease/merge counters ("dist.*").
+	Obs *obs.Registry
+	// Logf, when non-nil, receives one line per lease-state transition.
+	Logf func(format string, args ...interface{})
+}
+
+func (o *CoordinatorOptions) fillDefaults() {
+	if o.Parts <= 0 {
+		o.Parts = 8
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.StallFactor <= 0 {
+		o.StallFactor = 8
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
+	}
+}
+
+// partState is one partition of the job space.
+type partState struct {
+	id        int
+	keys      []string // every key of the part, sorted
+	remaining map[string]bool
+	leaseID   string // live lease holding the part, "" if none
+}
+
+// lease is one live grant. Revoked and completed leases are simply
+// forgotten: any later operation on their id answers ErrLeaseGone,
+// which is exactly what a worker holding a stale grant must hear.
+type lease struct {
+	id         string
+	worker     string
+	part       int
+	granted    time.Time
+	renewed    time.Time
+	lastResult time.Time
+}
+
+// LeaseGrant is the coordinator's answer to a lease request.
+type LeaseGrant struct {
+	// Status is "lease" (Keys/Spec are populated), "wait" (all parts are
+	// leased; retry after RetryNS) or "done" (the sweep is complete).
+	Status string `json:"status"`
+	// Lease is the grant's id, quoted back on heartbeat/results/complete.
+	Lease string `json:"lease,omitempty"`
+	// Part and Parts locate the granted partition.
+	Part  int `json:"part,omitempty"`
+	Parts int `json:"parts,omitempty"`
+	// Keys are the part's still-unrecorded job keys, sorted. The worker
+	// runs exactly these — after a steal, the new holder skips what the
+	// old one already delivered.
+	Keys []string `json:"keys,omitempty"`
+	// Spec is the sweep to run; identical for every grant.
+	Spec api.JobSpec `json:"spec,omitempty"`
+	// TTLNS is the heartbeat deadline; RetryNS the suggested wait-state
+	// poll interval.
+	TTLNS   int64 `json:"ttl_ns,omitempty"`
+	RetryNS int64 `json:"retry_ns,omitempty"`
+}
+
+// Grant statuses.
+const (
+	GrantLease = "lease"
+	GrantWait  = "wait"
+	GrantDone  = "done"
+)
+
+// Status is a point-in-time snapshot of coordinator state, served on
+// GET /dist/v1/status and asserted on by the chaos suites.
+type Status struct {
+	Experiment string `json:"experiment"`
+	TotalJobs  int    `json:"total_jobs"`
+	DoneJobs   int    `json:"done_jobs"`
+	Parts      int    `json:"parts"`
+	DoneParts  int    `json:"done_parts"`
+	LiveLeases int    `json:"live_leases"`
+	Granted    uint64 `json:"granted"`
+	Expired    uint64 `json:"expired"`
+	Stolen     uint64 `json:"stolen"`
+	Duplicates uint64 `json:"duplicates"`
+	Late       uint64 `json:"late_results"`
+	Restored   int    `json:"restored"`
+	Done       bool   `json:"done"`
+}
+
+// Coordinator owns the sweep's job universe: it enumerates the keys,
+// partitions them, leases partitions to workers, merges streamed
+// results into the ledger, and replays the ledger into the final
+// report. All methods are safe for concurrent use.
+type Coordinator struct {
+	o    CoordinatorOptions
+	spec api.JobSpec
+
+	mu       sync.Mutex
+	universe map[string]int // job key → part
+	parts    []*partState
+	leases   map[string]*lease // live only
+	done     map[string]json.RawMessage
+	appender *runner.CheckpointAppender
+	seq      int
+	elapsed  int64 // summed ElapsedNS of first-time results
+	granted  uint64
+	expired  uint64
+	stolen   uint64
+	dups     uint64
+	late     uint64
+	restored int
+
+	finished  chan struct{}
+	finishGen sync.Once
+
+	// now is the clock; tests substitute a fake for deterministic
+	// expiry/steal schedules.
+	now func() time.Time
+}
+
+// NewCoordinator enumerates and partitions the sweep's job space,
+// strictly salvages any pre-existing ledger (the restart path: already
+// merged results are honored, a torn tail is truncated, a divergent or
+// foreign ledger is refused), and opens the ledger for appending.
+func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
+	o.fillDefaults()
+	if o.Ledger == "" {
+		return nil, errors.New("dist: coordinator requires a ledger path")
+	}
+	spec := o.Spec
+	if spec.Kind == "" {
+		spec.Kind = api.KindSweep
+	}
+	if err := spec.Normalize(nil); err != nil {
+		return nil, fmt.Errorf("dist: bad sweep spec: %w", err)
+	}
+	if spec.Kind != api.KindSweep {
+		return nil, fmt.Errorf("dist: cannot distribute %q jobs, only sweeps", spec.Kind)
+	}
+	keys, err := spec.EvalOptions().SweepKeys(spec.Experiment)
+	if err != nil {
+		return nil, fmt.Errorf("dist: enumerating %s: %w", spec.Experiment, err)
+	}
+	return newCoordinator(spec, keys, o)
+}
+
+// newCoordinator wires a coordinator over an explicit key universe; the
+// property tests drive it with synthetic keys and a fake clock.
+func newCoordinator(spec api.JobSpec, keys []string, o CoordinatorOptions) (*Coordinator, error) {
+	c := &Coordinator{
+		o:        o,
+		spec:     spec,
+		universe: make(map[string]int, len(keys)),
+		leases:   make(map[string]*lease),
+		done:     make(map[string]json.RawMessage),
+		finished: make(chan struct{}),
+		now:      time.Now,
+	}
+	nparts := o.Parts
+	if nparts > len(keys) {
+		nparts = len(keys)
+	}
+	for i := 0; i < nparts; i++ {
+		c.parts = append(c.parts, &partState{id: i, remaining: make(map[string]bool)})
+	}
+	for _, k := range keys {
+		p := PartOf(k, nparts)
+		c.universe[k] = p
+		c.parts[p].keys = append(c.parts[p].keys, k)
+		c.parts[p].remaining[k] = true
+	}
+	for _, p := range c.parts {
+		sort.Strings(p.keys)
+	}
+
+	// Restart path: fold the surviving ledger back in before accepting
+	// anything new. Strict salvage refuses divergent payloads and
+	// truncates a torn tail so the appender cannot glue onto garbage.
+	vals, salvage, err := runner.SalvageStrict(c.fs(), o.Ledger)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range vals {
+		if _, ok := c.universe[k]; !ok {
+			return nil, fmt.Errorf("%w: ledger %s holds job %q not in sweep %s — it belongs to a different sweep",
+				ErrForeignKey, o.Ledger, k, spec.Experiment)
+		}
+		cv, cerr := compactValue(v)
+		if cerr != nil {
+			return nil, fmt.Errorf("dist: ledger %s entry %q: %w", o.Ledger, k, cerr)
+		}
+		c.markDoneLocked(k, cv, 0)
+		c.restored++
+	}
+	if salvage.TornBytes > 0 {
+		o.Obs.Counter("dist.ledger_torn_bytes").Add(uint64(salvage.TornBytes))
+	}
+	o.Obs.Counter("dist.ledger_restored").Add(uint64(c.restored))
+	c.logf("dist: sweep %s: %d jobs in %d parts (%d restored from %s)",
+		spec.Experiment, len(keys), nparts, c.restored, o.Ledger)
+
+	app, err := runner.OpenCheckpointAppender(c.fs(), o.Ledger, false)
+	if err != nil {
+		return nil, err
+	}
+	c.appender = app
+	c.checkFinishedLocked()
+	return c, nil
+}
+
+func (c *Coordinator) fs() fault.FS {
+	if c.o.FS == nil {
+		return fault.OS
+	}
+	return c.o.FS
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.o.Logf != nil {
+		c.o.Logf(format, args...)
+	}
+}
+
+// compactValue canonicalizes a payload so byte-level comparison is
+// insensitive to wire formatting.
+func compactValue(v json.RawMessage) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, v); err != nil {
+		return nil, fmt.Errorf("invalid JSON payload: %w", err)
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// Close flushes and closes the ledger. The coordinator stays queryable
+// but refuses further results.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.appender == nil {
+		return nil
+	}
+	err := c.appender.Close()
+	c.appender = nil
+	return err
+}
+
+// Done is closed once every job key has a recorded result.
+func (c *Coordinator) Done() <-chan struct{} { return c.finished }
+
+// WaitDone blocks until the sweep completes or ctx is cancelled.
+func (c *Coordinator) WaitDone(ctx context.Context) error {
+	select {
+	case <-c.finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Lease grants the requesting worker a partition: the first unleased
+// part with unrecorded keys, or — when every such part is taken — a
+// stolen straggler. With nothing grantable it answers "wait", and once
+// every key is recorded, "done".
+func (c *Coordinator) Lease(worker string) LeaseGrant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	if c.doneLocked() {
+		return LeaseGrant{Status: GrantDone}
+	}
+	for _, p := range c.parts {
+		if len(p.remaining) > 0 && p.leaseID == "" {
+			return c.grantLocked(worker, p)
+		}
+	}
+	if p := c.stealLocked(); p != nil {
+		return c.grantLocked(worker, p)
+	}
+	return LeaseGrant{Status: GrantWait, RetryNS: int64(c.o.LeaseTTL / 4)}
+}
+
+// grantLocked issues a lease on part p to worker.
+func (c *Coordinator) grantLocked(worker string, p *partState) LeaseGrant {
+	c.seq++
+	c.granted++
+	c.o.Obs.Counter("dist.leases_granted").Inc()
+	id := fmt.Sprintf("lease-%04d", c.seq)
+	now := c.now()
+	l := &lease{id: id, worker: worker, part: p.id, granted: now, renewed: now}
+	c.leases[id] = l
+	p.leaseID = id
+	keys := make([]string, 0, len(p.remaining))
+	for k := range p.remaining {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	c.logf("dist: lease %s: part %d/%d (%d keys) -> worker %s", id, p.id, len(c.parts), len(keys), worker)
+	return LeaseGrant{
+		Status: GrantLease,
+		Lease:  id,
+		Part:   p.id,
+		Parts:  len(c.parts),
+		Keys:   keys,
+		Spec:   c.spec,
+		TTLNS:  int64(c.o.LeaseTTL),
+	}
+}
+
+// expireLocked lazily revokes leases whose heartbeat deadline passed.
+func (c *Coordinator) expireLocked() {
+	now := c.now()
+	for id, l := range c.leases {
+		if now.Sub(l.renewed) > c.o.LeaseTTL {
+			c.expired++
+			c.o.Obs.Counter("dist.leases_expired").Inc()
+			c.logf("dist: lease %s (part %d, worker %s) expired after %v without heartbeat",
+				id, l.part, l.worker, now.Sub(l.renewed))
+			c.revokeLocked(l)
+		}
+	}
+}
+
+// revokeLocked forgets a live lease and returns its part to the pool.
+func (c *Coordinator) revokeLocked(l *lease) {
+	delete(c.leases, l.id)
+	if p := c.parts[l.part]; p.leaseID == l.id {
+		p.leaseID = ""
+	}
+}
+
+// stealLocked picks a straggler lease to revoke: per-job span timings
+// streamed with each result give a mean job duration, and a lease that
+// has gone StallFactor times that mean (never less than one TTL)
+// without delivering a result is slower than re-running its remainder
+// elsewhere. Among stragglers the one holding the most unrecorded keys
+// is stolen first; ties break on part id so the choice is
+// deterministic.
+func (c *Coordinator) stealLocked() *partState {
+	jobs := len(c.done)
+	if jobs == 0 || c.elapsed <= 0 {
+		return nil // no timing signal yet: nothing to judge stragglers by
+	}
+	threshold := time.Duration(float64(c.elapsed/int64(jobs)) * c.o.StallFactor)
+	if threshold < c.o.LeaseTTL {
+		threshold = c.o.LeaseTTL
+	}
+	now := c.now()
+	var victim *lease
+	for _, l := range c.leases {
+		p := c.parts[l.part]
+		if len(p.remaining) == 0 {
+			continue
+		}
+		last := l.lastResult
+		if last.IsZero() {
+			last = l.granted
+		}
+		if now.Sub(last) <= threshold {
+			continue
+		}
+		if victim == nil ||
+			len(p.remaining) > len(c.parts[victim.part].remaining) ||
+			(len(p.remaining) == len(c.parts[victim.part].remaining) && l.part < victim.part) {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	c.stolen++
+	c.o.Obs.Counter("dist.leases_stolen").Inc()
+	c.logf("dist: stealing lease %s (part %d, worker %s): no result for > %v",
+		victim.id, victim.part, victim.worker, threshold)
+	p := c.parts[victim.part]
+	c.revokeLocked(victim)
+	return p
+}
+
+// Heartbeat renews a lease's TTL. ErrLeaseGone tells the worker its
+// grant was revoked and the shard should be abandoned.
+func (c *Coordinator) Heartbeat(leaseID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return ErrLeaseGone
+	}
+	l.renewed = c.now()
+	return nil
+}
+
+// Results merges a batch of completed jobs into the ledger. Acceptance
+// is idempotent and lease-independent: results are keyed by job hash,
+// so duplicates with identical payloads are counted and dropped, late
+// results from revoked leases are folded in (the work is done — the
+// determinism contract makes it indistinguishable from the live
+// holder's), and a payload that diverges from the recorded one rejects
+// the whole batch before any ledger write. The error return is either
+// a validation rejection (ErrDivergent/ErrForeignKey) or a ledger
+// append failure.
+func (c *Coordinator) Results(leaseID string, entries []Entry) (accepted, duplicates int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	if c.appender == nil {
+		return 0, 0, errors.New("dist: coordinator is closed")
+	}
+
+	// Validate the whole batch against the universe, the merged state,
+	// and itself before writing anything: a rejected batch must leave no
+	// partial trace in the ledger.
+	type add struct {
+		key string
+		val json.RawMessage
+		ns  int64
+	}
+	var adds []add
+	inBatch := make(map[string]json.RawMessage)
+	for _, e := range entries {
+		if _, known := c.universe[e.Key]; !known {
+			return 0, 0, fmt.Errorf("%w: job %q is not part of sweep %s", ErrForeignKey, e.Key, c.spec.Experiment)
+		}
+		cv, cerr := compactValue(e.Value)
+		if cerr != nil {
+			return 0, 0, fmt.Errorf("dist: result for job %q: %w", e.Key, cerr)
+		}
+		prev, dup := c.done[e.Key]
+		if !dup {
+			prev, dup = inBatch[e.Key]
+		}
+		if dup {
+			if !bytes.Equal(prev, cv) {
+				return 0, 0, fmt.Errorf("%w for job %q: recorded %d bytes, resubmitted %d bytes differ",
+					ErrDivergent, e.Key, len(prev), len(cv))
+			}
+			duplicates++
+			continue
+		}
+		inBatch[e.Key] = cv
+		adds = append(adds, add{key: e.Key, val: cv, ns: e.ElapsedNS})
+	}
+
+	l, live := c.leases[leaseID]
+	if !live && len(adds) > 0 {
+		c.late += uint64(len(adds))
+		c.o.Obs.Counter("dist.late_results").Add(uint64(len(adds)))
+	}
+	c.dups += uint64(duplicates)
+	if duplicates > 0 {
+		c.o.Obs.Counter("dist.duplicate_results").Add(uint64(duplicates))
+	}
+
+	for _, a := range adds {
+		if err := c.appender.Append(a.key, a.val, time.Duration(a.ns)); err != nil {
+			// The ledger could not record progress; nothing past this
+			// point was merged, and the in-memory state matches the file.
+			return accepted, duplicates, fmt.Errorf("dist: ledger append: %w", err)
+		}
+		c.markDoneLocked(a.key, a.val, a.ns)
+		accepted++
+	}
+	if live {
+		now := c.now()
+		l.renewed = now
+		if accepted > 0 {
+			l.lastResult = now
+		}
+	}
+	c.o.Obs.Counter("dist.results_merged").Add(uint64(accepted))
+	return accepted, duplicates, nil
+}
+
+// markDoneLocked records one merged result and advances part/sweep
+// completion. A part whose last key arrives is done no matter which
+// lease delivered it; its live lease, if any, is released on the spot.
+func (c *Coordinator) markDoneLocked(key string, val json.RawMessage, elapsedNS int64) {
+	c.done[key] = val
+	c.elapsed += elapsedNS
+	p := c.parts[c.universe[key]]
+	delete(p.remaining, key)
+	if len(p.remaining) == 0 {
+		if p.leaseID != "" {
+			delete(c.leases, p.leaseID)
+			p.leaseID = ""
+		}
+		c.checkFinishedLocked()
+	}
+}
+
+func (c *Coordinator) doneLocked() bool { return len(c.done) == len(c.universe) }
+
+func (c *Coordinator) checkFinishedLocked() {
+	if c.doneLocked() {
+		c.finishGen.Do(func() { close(c.finished) })
+	}
+}
+
+// Complete acknowledges a worker's claim that its leased part is
+// finished. It is idempotent: a live lease over an exhausted part
+// answers "ok"; a revoked or unknown lease answers "superseded" (the
+// results that mattered were already merged, or the part was re-leased
+// — either way the worker is free to move on); a live lease whose part
+// still has unrecorded keys is revoked and re-pooled, answering
+// "incomplete".
+func (c *Coordinator) Complete(leaseID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return "superseded"
+	}
+	p := c.parts[l.part]
+	if len(p.remaining) > 0 {
+		c.logf("dist: lease %s completed with %d keys unrecorded; re-pooling part %d", leaseID, len(p.remaining), l.part)
+		c.revokeLocked(l)
+		return "incomplete"
+	}
+	c.revokeLocked(l)
+	return "ok"
+}
+
+// StatusSnapshot reports progress for /dist/v1/status and the tests.
+func (c *Coordinator) StatusSnapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	doneParts := 0
+	for _, p := range c.parts {
+		if len(p.remaining) == 0 {
+			doneParts++
+		}
+	}
+	return Status{
+		Experiment: c.spec.Experiment,
+		TotalJobs:  len(c.universe),
+		DoneJobs:   len(c.done),
+		Parts:      len(c.parts),
+		DoneParts:  doneParts,
+		LiveLeases: len(c.leases),
+		Granted:    c.granted,
+		Expired:    c.expired,
+		Stolen:     c.stolen,
+		Duplicates: c.dups,
+		Late:       c.late,
+		Restored:   c.restored,
+		Done:       c.doneLocked(),
+	}
+}
+
+// Replay returns the evaluation options that regenerate the merged
+// report: the sweep's own options (NoTimings forced) resuming from the
+// ledger with a single worker, after verifying the ledger covers the
+// whole universe under strict salvage. Replays are deterministic, so
+// the report — and an obs snapshot of the replay — is byte-identical no
+// matter how many workers contributed.
+func (c *Coordinator) Replay() (eval.Options, error) {
+	select {
+	case <-c.finished:
+	default:
+		c.mu.Lock()
+		n, total := len(c.done), len(c.universe)
+		c.mu.Unlock()
+		return eval.Options{}, fmt.Errorf("dist: sweep incomplete: %d/%d jobs merged", n, total)
+	}
+	vals, _, err := runner.SalvageStrict(c.fs(), c.o.Ledger)
+	if err != nil {
+		return eval.Options{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.universe {
+		if _, ok := vals[k]; !ok {
+			return eval.Options{}, fmt.Errorf("dist: ledger %s lost job %q between merge and replay", c.o.Ledger, k)
+		}
+	}
+	eo := c.spec.EvalOptions()
+	eo.Workers = 1
+	eo.Checkpoint = c.o.Ledger
+	eo.Resume = true
+	eo.FS = c.o.FS
+	return eo, nil
+}
+
+// WriteReport replays the merged ledger into the final report. Valid
+// only once Done() is closed.
+func (c *Coordinator) WriteReport(w io.Writer) error {
+	eo, err := c.Replay()
+	if err != nil {
+		return err
+	}
+	return eo.Run(w, c.spec.Experiment)
+}

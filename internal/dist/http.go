@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/uteda/gmap/internal/serve"
+)
+
+// The coordinator's wire surface, mounted under /dist/v1/ on the shared
+// serve transport. Control messages (lease, heartbeat, complete,
+// status) are small JSON; result deliveries are the binary batch codec
+// (codec.go) so checkpoint payload bytes pass through untouched.
+
+// leaseRequest / leaseOpRequest are the JSON bodies of the control
+// endpoints.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseOpRequest struct {
+	Lease string `json:"lease"`
+}
+
+// resultsResponse reports what a results POST merged.
+type resultsResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// completeResponse carries the completion verdict.
+type completeResponse struct {
+	Status string `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// statusOf maps protocol errors onto HTTP statuses: a gone lease is 410
+// (the worker must re-lease), a divergent or foreign result is 409 (the
+// submission conflicts with merged state and retrying it verbatim can
+// never succeed), anything else is a 500 infrastructure failure.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		return http.StatusGone
+	case errors.Is(err, ErrDivergent), errors.Is(err, ErrForeignKey):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Handler mounts the coordinator's endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /dist/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode lease request: %w", err))
+			return
+		}
+		if req.Worker == "" {
+			req.Worker = r.RemoteAddr
+		}
+		writeJSON(w, http.StatusOK, c.Lease(req.Worker))
+	})
+	mux.HandleFunc("POST /dist/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseOpRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode heartbeat: %w", err))
+			return
+		}
+		if err := c.Heartbeat(req.Lease); err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /dist/v1/results", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("read results body: %w", err))
+			return
+		}
+		batch, err := DecodeBatch(data)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		accepted, dups, err := c.Results(batch.Lease, batch.Entries)
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resultsResponse{Accepted: accepted, Duplicates: dups})
+	})
+	mux.HandleFunc("POST /dist/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseOpRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode complete: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, completeResponse{Status: c.Complete(req.Lease)})
+	})
+	mux.HandleFunc("GET /dist/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.StatusSnapshot())
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves the coordinator
+// API until ctx is cancelled, on the shared serve transport.
+func (c *Coordinator) Serve(ctx context.Context, addr string) (*serve.Server, error) {
+	return serve.Start(ctx, "gmap-dist", addr, c.Handler())
+}

@@ -1,0 +1,322 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL ("http://host:port").
+	Coordinator string
+	// Name identifies this worker in lease attribution and logs; empty
+	// derives "host:pid".
+	Name string
+	// Workers and SimWorkers size the local execution pools, exactly as
+	// on a serial run (eval.Options.Workers / .SimWorkers). Pure
+	// execution detail: job keys and payloads are unchanged.
+	Workers    int
+	SimWorkers int
+	// Poll is the wait-state retry interval when every part is leased;
+	// <= 0 defaults to 500ms (the coordinator's RetryNS suggestion wins
+	// when present).
+	Poll time.Duration
+	// BatchSize is how many results accumulate before a delivery; <= 1
+	// streams every completed job immediately, which is what keeps the
+	// coordinator's straggler timings live.
+	BatchSize int
+	// HTTPClient overrides the transport (tests); nil uses a default.
+	HTTPClient *http.Client
+	// Obs, when non-nil, collects the local execution instrumentation.
+	Obs *obs.Registry
+	// Logf, when non-nil, receives worker progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// client wraps the coordinator's HTTP surface.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// apiErr lifts an HTTP error body back into the protocol's sentinel
+// errors so worker logic can errors.Is on them across the wire.
+func (c *client) apiErr(status int, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch status {
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrLeaseGone, msg)
+	case http.StatusConflict:
+		if strings.Contains(msg, "divergent") {
+			return fmt.Errorf("%w: %s", ErrDivergent, msg)
+		}
+		return fmt.Errorf("%w: %s", ErrForeignKey, msg)
+	default:
+		return fmt.Errorf("dist: coordinator returned %d: %s", status, msg)
+	}
+}
+
+func (c *client) post(ctx context.Context, path, contentType string, body []byte, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("dist: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return c.apiErr(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("dist: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (c *client) postJSON(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.post(ctx, path, "application/json", body, out)
+}
+
+func (c *client) lease(ctx context.Context, worker string) (LeaseGrant, error) {
+	var g LeaseGrant
+	err := c.postJSON(ctx, "/dist/v1/lease", leaseRequest{Worker: worker}, &g)
+	return g, err
+}
+
+func (c *client) heartbeat(ctx context.Context, lease string) error {
+	return c.postJSON(ctx, "/dist/v1/heartbeat", leaseOpRequest{Lease: lease}, nil)
+}
+
+func (c *client) results(ctx context.Context, b *Batch) (resultsResponse, error) {
+	var resp resultsResponse
+	data, err := EncodeBatch(b)
+	if err != nil {
+		return resp, err
+	}
+	err = c.post(ctx, "/dist/v1/results", "application/octet-stream", data, &resp)
+	return resp, err
+}
+
+func (c *client) complete(ctx context.Context, lease string) (string, error) {
+	var resp completeResponse
+	if err := c.postJSON(ctx, "/dist/v1/complete", leaseOpRequest{Lease: lease}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// RunWorker joins the coordinator at o.Coordinator and processes leases
+// until the sweep is done (returns nil), ctx is cancelled, or an
+// unrecoverable error occurs (coordinator unreachable, simulation
+// failure, divergence rejection). Losing a lease — expiry or steal —
+// is not an error: the shard is abandoned mid-run and the loop asks for
+// the next lease.
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if o.Coordinator == "" {
+		return errors.New("dist: worker requires a coordinator URL")
+	}
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
+	}
+	hc := o.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	cl := &client{base: strings.TrimRight(o.Coordinator, "/"), hc: hc}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g, err := cl.lease(ctx, o.Name)
+		if err != nil {
+			return err
+		}
+		switch g.Status {
+		case GrantDone:
+			logf("dist: worker %s: sweep complete", o.Name)
+			return nil
+		case GrantWait:
+			wait := o.Poll
+			if g.RetryNS > 0 {
+				wait = time.Duration(g.RetryNS)
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case GrantLease:
+			logf("dist: worker %s: leased part %d/%d (%d keys)", o.Name, g.Part, g.Parts, len(g.Keys))
+			if err := runLease(ctx, cl, o, g, logf); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: unknown grant status %q", g.Status)
+		}
+	}
+}
+
+// runLease executes one granted shard: the sweep's own eval pipeline
+// restricted (Shard) to the granted keys, streaming every completed
+// point back as a checkpoint event (ResultSink), under a heartbeat
+// goroutine that cancels the run the moment the lease is lost.
+func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, logf func(string, ...interface{})) error {
+	mine := make(map[string]bool, len(g.Keys))
+	for _, k := range g.Keys {
+		mine[k] = true
+	}
+
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+
+	// The heartbeat loop renews the lease at a third of its TTL and
+	// cancels the shard when the coordinator says the lease is gone —
+	// a stolen straggler stops burning CPU on work someone else owns.
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	ttl := time.Duration(g.TTLNS)
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-tick.C:
+				if err := cl.heartbeat(shardCtx, g.Lease); err != nil {
+					if errors.Is(err, ErrLeaseGone) {
+						logf("dist: worker %s: lease %s lost: %v", o.Name, g.Lease, err)
+						close(lost)
+						cancelShard()
+						return
+					}
+					// Transport trouble: keep the run going; the TTL is
+					// the coordinator's call, not ours.
+					logf("dist: worker %s: heartbeat: %v", o.Name, err)
+				}
+			}
+		}
+	}()
+
+	var pending []Entry
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		// Deliveries ride ctx, not shardCtx: results computed before a
+		// lease loss are still worth delivering (late results merge).
+		_, err := cl.results(ctx, &Batch{Lease: g.Lease, Entries: pending})
+		if err == nil {
+			pending = pending[:0]
+		}
+		return err
+	}
+
+	eo := g.Spec.EvalOptions()
+	eo.Workers = o.Workers
+	eo.SimWorkers = o.SimWorkers
+	eo.Context = shardCtx
+	eo.Obs = o.Obs
+	eo.Shard = func(key string) bool { return mine[key] }
+	eo.ResultSink = func(key string, value json.RawMessage, elapsed time.Duration) error {
+		pending = append(pending, Entry{
+			Key:       key,
+			Value:     json.RawMessage(append([]byte(nil), value...)),
+			ElapsedNS: elapsed.Nanoseconds(),
+		})
+		if len(pending) >= o.BatchSize {
+			return flush()
+		}
+		return nil
+	}
+
+	// The shard's assembled report is garbage by construction (the
+	// unexecuted keys stay zero): only the streamed per-key payloads
+	// matter, so the rendering goes to Discard.
+	runErr := eo.Run(io.Discard, g.Spec.Experiment)
+
+	leaseLost := false
+	select {
+	case <-lost:
+		leaseLost = true
+	default:
+	}
+	cancelShard()
+	<-hbDone
+
+	// Deliver whatever completed, even after an abandoned shard; the
+	// coordinator accepts late results idempotently.
+	if ferr := flush(); ferr != nil && runErr == nil && !leaseLost {
+		return ferr
+	}
+
+	switch {
+	case leaseLost:
+		// Not an error: someone else owns the part now.
+		return nil
+	case runErr != nil && ctx.Err() != nil:
+		return ctx.Err()
+	case runErr != nil:
+		return fmt.Errorf("dist: worker %s lease %s: %w", o.Name, g.Lease, runErr)
+	}
+	status, err := cl.complete(ctx, g.Lease)
+	if err != nil {
+		// Completion is advisory — the coordinator marks a part done from
+		// the results themselves — so a lost acknowledgment (say, the
+		// coordinator rendered and exited the instant the last result
+		// landed) never fails the worker.
+		logf("dist: worker %s: complete: %v", o.Name, err)
+		return nil
+	}
+	logf("dist: worker %s: part %d complete (%s)", o.Name, g.Part, status)
+	return nil
+}

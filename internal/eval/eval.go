@@ -2,8 +2,11 @@ package eval
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -103,9 +106,27 @@ type Options struct {
 	// NoTimings omits wall-clock timings and execution statistics from
 	// figure results and their rendered reports, so two runs with the
 	// same options produce byte-identical report text. The serve layer
-	// relies on this to content-address and cache sweep results; fig8's
-	// measured speedup column is inherently wall-clock and stays.
+	// relies on this to content-address and cache sweep results, and the
+	// distributed merge replay (internal/dist) to prove shard-equals-
+	// serial byte identity. Fig8's measured speedup column is inherently
+	// wall-clock, so under NoTimings it is not aggregated and renders as
+	// "-"; the per-point checkpoint payloads still record the measured
+	// nanoseconds.
 	NoTimings bool
+
+	// Shard, when non-nil, restricts sweep execution to the job keys it
+	// selects: non-matching jobs are neither executed nor resumed and
+	// their results stay zero-valued, so a sharded run's assembled
+	// figures are meaningless and must be discarded. Shard is an
+	// execution filter only — it never changes job keys — and exists for
+	// the distributed worker (internal/dist), which cares about the
+	// per-key checkpoint values it streams back, not the local report.
+	Shard func(key string) bool
+	// ResultSink, when non-nil, receives every executed simulation
+	// point's checkpoint event (key, canonical JSON payload, execution
+	// time) in completion order; a sink error aborts the sweep. See
+	// runner.Options.Sink.
+	ResultSink func(key string, value json.RawMessage, elapsed time.Duration) error
 
 	// progressMu serializes Progress delivery; exec accumulates runner
 	// statistics; live mirrors the newest runner event for the HTTP
@@ -115,6 +136,22 @@ type Options struct {
 	exec       *execAccum
 	live       *liveProgress
 	strict     *strictResume
+
+	// enumKeys, when non-nil, switches runJobs into enumeration: jobs
+	// are collected by key and nothing executes (see SweepKeys).
+	enumKeys *keyCollector
+}
+
+// keyCollector accumulates the job keys runJobs would have executed.
+type keyCollector struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (c *keyCollector) add(keys []string) {
+	c.mu.Lock()
+	c.keys = append(c.keys, keys...)
+	c.mu.Unlock()
 }
 
 // strictResume arms runner.Options.ResumeStrict for exactly the first
@@ -235,10 +272,35 @@ func (o *Options) jobKey(experiment, benchmark string, parts ...string) string {
 // runner statistics. Job-level failures are left in the results for the
 // caller to collect; the error return is cancellation only.
 func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runner.Result[R], runner.Stats, error) {
+	if o.enumKeys != nil {
+		// Enumeration mode: report the job universe without executing,
+		// resuming, or touching the checkpoint. Callers get zero-valued
+		// results; SweepKeys discards the assembled figures.
+		keys := make([]string, len(jobs))
+		for i := range jobs {
+			keys[i] = jobs[i].Key
+		}
+		o.enumKeys.add(keys)
+		return make([]runner.Result[R], len(jobs)), runner.Stats{}, nil
+	}
+	// A shard executes only the selected subset; the skipped jobs' result
+	// slots stay zero-valued and are scattered back so figure assembly
+	// still sees the full sweep shape.
+	run := jobs
+	var shardIdx []int
+	if o.Shard != nil {
+		run = nil
+		for i := range jobs {
+			if o.Shard(jobs[i].Key) {
+				shardIdx = append(shardIdx, i)
+				run = append(run, jobs[i])
+			}
+		}
+	}
 	lastDecile := -1
-	sweepSpan := o.Trace.Root("eval."+experiment, obstrace.Int("jobs", int64(len(jobs))))
+	sweepSpan := o.Trace.Root("eval."+experiment, obstrace.Int("jobs", int64(len(run))))
 	defer sweepSpan.End()
-	o.live.beginSweep(experiment, len(jobs))
+	o.live.beginSweep(experiment, len(run))
 	ropts := runner.Options{
 		Workers:      o.Workers,
 		Timeout:      o.JobTimeout,
@@ -251,6 +313,7 @@ func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runn
 		FS:           o.FS,
 		Inject:       o.Inject,
 		Obs:          o.Obs,
+		Sink:         o.ResultSink,
 		TraceSpan:    sweepSpan,
 		OnEvent: func(e runner.Event) {
 			o.live.note(e)
@@ -266,11 +329,77 @@ func runJobs[R any](o *Options, experiment string, jobs []runner.Job[R]) ([]runn
 			}
 		},
 	}
-	results, st, err := runner.Run(o.ctx(), ropts, jobs)
+	results, st, err := runner.Run(o.ctx(), ropts, run)
+	if o.Shard != nil {
+		full := make([]runner.Result[R], len(jobs))
+		for i := range jobs {
+			full[i].Key = jobs[i].Key
+		}
+		for si, r := range results {
+			full[shardIdx[si]] = r
+		}
+		results = full
+	}
 	o.exec.mu.Lock()
 	o.exec.total = o.exec.total.Add(st)
 	o.exec.mu.Unlock()
 	return results, st, err
+}
+
+// SweepKeys enumerates the stable job keys of one experiment's sweeps —
+// the distributed coordinator's view of the job space — without
+// executing any simulation, touching checkpoints, or emitting progress.
+// Keys come back sorted and deduplicated. Experiments without sweep
+// jobs (table1, table2) contribute no keys: the coordinator recomputes
+// those parts locally during replay. The enumeration shares jobKey with
+// execution by construction, so a worker running the same Options can
+// never disagree with the coordinator about job identity.
+func (o Options) SweepKeys(experiment string) ([]string, error) {
+	// o is a value copy: strip everything that would execute, log, or
+	// persist, and detach the shared accumulators so enumeration leaves
+	// the caller's Options untouched.
+	o.enumKeys = &keyCollector{}
+	o.Progress = nil
+	o.Checkpoint = ""
+	o.Resume = false
+	o.Shard = nil
+	o.ResultSink = nil
+	o.Obs = nil
+	o.Trace = nil
+	o.Attr = nil
+	o.progressMu, o.exec, o.live, o.strict = nil, nil, nil, nil
+	o.fillDefaults()
+	if err := o.enumerate(experiment); err != nil {
+		return nil, err
+	}
+	keys := append([]string(nil), o.enumKeys.keys...)
+	sort.Strings(keys)
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq, nil
+}
+
+// enumerate drives the experiment dispatch in enumeration mode. Table
+// experiments have no sweep jobs and are skipped outright rather than
+// computed.
+func (o *Options) enumerate(experiment string) error {
+	switch experiment {
+	case "table1", "table2":
+		return nil
+	case "all":
+		for _, id := range ExperimentIDs() {
+			if err := o.enumerate(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return o.Run(io.Discard, experiment)
+	}
 }
 
 // collectErrors summarizes job-level failures after a sweep drains.

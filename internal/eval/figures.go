@@ -287,8 +287,14 @@ func (o *Options) Fig8() (*Fig8Result, error) {
 		for bi := range o.Benchmarks {
 			s := results[fi*len(o.Benchmarks)+bi].Value
 			errs = append(errs, s.Err)
-			origNS += s.OrigNS
-			proxNS += s.ProxNS
+			if !o.NoTimings {
+				// The speedup axis is wall-clock and thus nondeterministic
+				// across executions; NoTimings drops it (rendered as "-")
+				// so reports stay byte-identical. The per-point checkpoint
+				// payloads keep the measured nanoseconds either way.
+				origNS += s.OrigNS
+				proxNS += s.ProxNS
+			}
 			origReqs += s.OrigReqs
 			proxReqs += s.ProxReqs
 		}

@@ -87,7 +87,13 @@ func WriteFig8(w io.Writer, r *Fig8Result) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "reduction\taccuracy\tsim speedup\trequest ratio")
 	for _, p := range r.Points {
-		fmt.Fprintf(tw, "%.0fx\t%.2f%%\t%.2fx\t%.2fx\n", p.Factor, p.Accuracy, p.Speedup, p.RequestRatio)
+		// Speedup 0 means the run omitted wall-clock timings (NoTimings);
+		// render "-" rather than a fictitious 0.00x.
+		speed := "-"
+		if p.Speedup > 0 {
+			speed = fmt.Sprintf("%.2fx", p.Speedup)
+		}
+		fmt.Fprintf(tw, "%.0fx\t%.2f%%\t%s\t%.2fx\n", p.Factor, p.Accuracy, speed, p.RequestRatio)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

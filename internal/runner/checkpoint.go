@@ -54,6 +54,16 @@ type Salvage struct {
 	// Compacted reports whether the file was rewritten to one line per
 	// key.
 	Compacted bool
+	// DivergentLines counts re-recorded keys whose payload bytes differ
+	// from the previously recorded value. A single process re-running a
+	// job writes the same bytes (results are deterministic), so a
+	// divergent line means two different job universes were merged into
+	// one file. SalvageCheckpoint keeps the later value; SalvageStrict
+	// refuses the file.
+	DivergentLines int
+	// FirstDivergentKey names the first key whose re-recorded payload
+	// differed, so strict-merge errors can be concrete.
+	FirstDivergentKey string
 }
 
 // ckptScan is the parsed state of a checkpoint file.
@@ -87,8 +97,13 @@ func scanCheckpoint(fsys fault.FS, path string) (*ckptScan, error) {
 			var e checkpointEntry
 			if len(trimmed) > 0 {
 				if json.Unmarshal(trimmed, &e) == nil && e.Key != "" {
-					if _, seen := sc.entries[e.Key]; !seen {
+					if prev, seen := sc.entries[e.Key]; !seen {
 						sc.order = append(sc.order, e.Key)
+					} else if !bytes.Equal(prev.Value, e.Value) {
+						if sc.salvage.DivergentLines == 0 {
+							sc.salvage.FirstDivergentKey = e.Key
+						}
+						sc.salvage.DivergentLines++
 					}
 					sc.entries[e.Key] = e
 					sc.salvage.Lines++
@@ -276,4 +291,72 @@ func (c *checkpointWriter) close() error {
 		return err
 	}
 	return c.f.Close()
+}
+
+// SalvageStrict is SalvageCheckpoint for merged ledgers: files whose
+// entries arrive from many writers (the distributed coordinator's
+// journal) where a re-recorded key is only legitimate when it carries
+// byte-identical payload — the same job executed twice. A re-recorded
+// key with a different payload means two different job universes (or a
+// nondeterministic job) were merged into one file; that is never safe
+// to replay, so SalvageStrict returns an error naming the first such
+// key instead of silently letting the later line win. Identical
+// duplicates and a torn trailing write are recovered exactly as in
+// SalvageCheckpoint.
+func SalvageStrict(fsys fault.FS, path string) (map[string]json.RawMessage, Salvage, error) {
+	vals, sv, err := SalvageCheckpoint(fsys, path)
+	if err != nil {
+		return vals, sv, err
+	}
+	if sv.DivergentLines > 0 {
+		return nil, sv, fmt.Errorf(
+			"runner: checkpoint %s holds divergent payloads for job %q (%d divergent lines): refusing to merge",
+			path, sv.FirstDivergentKey, sv.DivergentLines)
+	}
+	return vals, sv, nil
+}
+
+// A CheckpointAppender appends externally produced entries to a
+// checkpoint file, one flushed line per Append, with the same torn-tail
+// recovery contract as the runner's own writer: kill the process at any
+// byte and SalvageCheckpoint/SalvageStrict recover every completed
+// line. It is the distributed coordinator's merge path — results
+// streamed back from workers become ordinary checkpoint entries that
+// the existing resume machinery replays. Values must be valid JSON;
+// they are compacted on write so byte-level payload comparison
+// (SalvageStrict) is insensitive to wire formatting. Not safe for
+// concurrent use.
+type CheckpointAppender struct {
+	w *checkpointWriter
+}
+
+// OpenCheckpointAppender opens path for appending. fsys nil selects the
+// real filesystem; fsync extends the durability guarantee from process
+// death to power loss. Callers that may be appending to a previously
+// written file should salvage it first (SalvageStrict) so new lines
+// cannot glue onto a torn tail.
+func OpenCheckpointAppender(fsys fault.FS, path string, fsync bool) (*CheckpointAppender, error) {
+	w, err := openCheckpoint(fsys, path, fsync)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointAppender{w: w}, nil
+}
+
+// Append records one entry. elapsed is advisory (it feeds work-stealing
+// heuristics, not identity): entries for the same key may legitimately
+// differ in elapsed but never in value.
+func (a *CheckpointAppender) Append(key string, value json.RawMessage, elapsed time.Duration) error {
+	if key == "" {
+		return errors.New("runner: checkpoint append with empty key")
+	}
+	if !json.Valid(value) {
+		return fmt.Errorf("runner: checkpoint append for job %q: value is not valid JSON", key)
+	}
+	return a.w.append(key, value, elapsed)
+}
+
+// Close flushes and closes the underlying file.
+func (a *CheckpointAppender) Close() error {
+	return a.w.close()
 }

@@ -81,6 +81,16 @@ type Options struct {
 	// OnEvent, when non-nil, receives one Event per finished job (done,
 	// failed, or skipped). Events are delivered serially.
 	OnEvent func(Event)
+	// Sink, when non-nil, receives each successfully executed job's
+	// result as a checkpoint event — the key, the marshaled JSON value
+	// (the exact bytes a checkpoint line would carry), and the job's
+	// execution time. Calls are serialized and happen after any
+	// checkpoint append; restored (Skipped) jobs are not re-delivered. A
+	// sink failure aborts the run like a failed checkpoint append: work
+	// whose results cannot be delivered must not silently continue. The
+	// distributed worker streams results to its coordinator through this
+	// seam.
+	Sink func(key string, value json.RawMessage, elapsed time.Duration) error
 	// Obs, when non-nil, records execution instrumentation: per-job wall
 	// time ("runner.job_ns"), checkpoint-append latency
 	// ("runner.checkpoint_append_ns"), job outcome and retry counters,
@@ -279,6 +289,16 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Result[R], 
 					}
 					ckptTime.Observe(uint64(time.Since(ckptStart)))
 					ckptSpan.End()
+				}
+				if res.Err == nil && opts.Sink != nil && ckptErr == nil {
+					raw, merr := json.Marshal(res.Value)
+					if merr == nil {
+						merr = opts.Sink(res.Key, raw, res.Elapsed)
+					}
+					if merr != nil {
+						ckptErr = fmt.Errorf("runner: result sink for job %q failed: %w", res.Key, merr)
+						cancelRun()
+					}
 				}
 				if res.Err != nil {
 					jobsFailed.Inc()

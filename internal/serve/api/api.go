@@ -423,24 +423,18 @@ type sweepResult struct {
 }
 
 func (s *Service) runSweep(ctx context.Context, js *jobState) ([]byte, error) {
-	opts := &eval.Options{
-		Benchmarks:   js.spec.Benchmarks,
-		Scale:        js.spec.Scale,
-		ScaleFactor:  js.spec.ScaleFactor,
-		Seed:         js.spec.Seed,
-		Cores:        js.spec.Cores,
-		Workers:      s.o.SweepWorkers,
-		Checkpoint:   s.st.CheckpointPath(js.id),
-		Resume:       true,
-		Retries:      s.o.Retries,
-		RetryBackoff: s.o.RetryBackoff,
-		Fsync:        s.o.Fsync,
-		FS:           s.o.FS,
-		Context:      ctx,
-		Obs:          s.o.Obs,
-		Trace:        s.o.Tracer,
-		NoTimings:    true,
-	}
+	eo := js.spec.EvalOptions()
+	opts := &eo
+	opts.Workers = s.o.SweepWorkers
+	opts.Checkpoint = s.st.CheckpointPath(js.id)
+	opts.Resume = true
+	opts.Retries = s.o.Retries
+	opts.RetryBackoff = s.o.RetryBackoff
+	opts.Fsync = s.o.Fsync
+	opts.FS = s.o.FS
+	opts.Context = ctx
+	opts.Obs = s.o.Obs
+	opts.Trace = s.o.Tracer
 	js.mu.Lock()
 	js.evalOpts = opts
 	js.mu.Unlock()

@@ -190,7 +190,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
-	if err := spec.normalize(s.st); err != nil {
+	if err := spec.Normalize(s.st); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -330,8 +330,8 @@ func (s *Service) progressSnapshot() interface{} {
 	}
 	sort.Slice(running, func(i, j int) bool { return running[i].Job < running[j].Job })
 	return map[string]interface{}{
-		"queue": s.q.Stats(),
-		"jobs":  counts,
+		"queue":   s.q.Stats(),
+		"jobs":    counts,
 		"running": running,
 	}
 }

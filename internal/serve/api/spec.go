@@ -50,9 +50,12 @@ const (
 	KindSweep = "sweep"
 )
 
-// normalize validates a submitted spec against the store and fills
+// Normalize validates a submitted spec against the store and fills
 // defaults in place, returning an error suitable for a 400 response.
-func (spec *JobSpec) normalize(st *store.Store) error {
+// st may be nil when only profile-less specs are expected (the
+// distributed coordinator reuses sweep specs as its lease wire format
+// and has no store); clone/sim specs then fail validation.
+func (spec *JobSpec) Normalize(st *store.Store) error {
 	spec.Kind = strings.ToLower(strings.TrimSpace(spec.Kind))
 	if spec.Seed == 0 {
 		spec.Seed = 1
@@ -76,6 +79,9 @@ func (spec *JobSpec) normalize(st *store.Store) error {
 		}
 		if spec.Profile == "" {
 			return fmt.Errorf("%s jobs require a profile hash (POST /v1/profiles first)", spec.Kind)
+		}
+		if st == nil {
+			return fmt.Errorf("%s jobs need a profile store", spec.Kind)
 		}
 		if !st.HasProfile(spec.Profile) {
 			return fmt.Errorf("unknown profile %q (POST /v1/profiles first)", spec.Profile)
@@ -107,6 +113,27 @@ func (spec *JobSpec) normalize(st *store.Store) error {
 		return fmt.Errorf("unknown job kind %q (one of clone, sim, sweep)", spec.Kind)
 	}
 	return nil
+}
+
+// EvalOptions builds the evaluation options a normalized sweep spec
+// denotes. Every execution path that runs or enumerates a sweep — the
+// service's sweep executor, the distributed coordinator's key
+// enumeration and merge replay, and the distributed worker's shard
+// execution — derives its options here, so they can never disagree
+// about job identity (eval's jobKey covers exactly these fields) or
+// about report determinism (NoTimings is forced: cached and merged
+// reports must be byte-identical across executions). Execution-only
+// knobs (workers, checkpoint, retries, ...) are layered on by the
+// caller and never change identity.
+func (spec *JobSpec) EvalOptions() eval.Options {
+	return eval.Options{
+		Benchmarks:  spec.Benchmarks,
+		Scale:       spec.Scale,
+		ScaleFactor: spec.ScaleFactor,
+		Seed:        spec.Seed,
+		Cores:       spec.Cores,
+		NoTimings:   true,
+	}
 }
 
 // hashes derives the result-cache coordinates of a normalized spec: WHAT
