@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/uteda/gmap/internal/dist"
@@ -14,18 +15,23 @@ import (
 // distFlags are the distributed-sweep knobs; the sweep-shape flags
 // (-exp, -benchmarks, -scale, ...) are shared with the serial path.
 type distFlags struct {
-	listen   string        // -dist-listen: coordinator mode
-	addrFile string        // -dist-addr-file
-	parts    int           // -dist-parts
-	leaseTTL time.Duration // -dist-lease-ttl
-	worker   string        // -worker: worker mode
+	listen         string        // -dist-listen: coordinator mode
+	addrFile       string        // -dist-addr-file
+	parts          int           // -dist-parts
+	leaseTTL       time.Duration // -dist-lease-ttl
+	worker         string        // -worker: worker mode (comma-separated endpoints)
+	workerAddrFile string        // -worker-addr-file: coordinator discovery file
+	standby        bool          // -dist-standby: standby/failover mode
+	healthInterval time.Duration // -dist-health-interval
+	healthMisses   int           // -dist-health-misses
 }
 
 // runCoordinator distributes the sweep: partition the job space, lease
 // parts to workers over HTTP, merge streamed results into the
 // -checkpoint ledger, and render the merged report once every job is
 // recorded. The ledger is the only durable state — re-running the same
-// command over it resumes where the previous coordinator died.
+// command over it resumes where the previous coordinator died, and a
+// -dist-standby process watching the same ledger takes over live.
 func runCoordinator(ctx context.Context, spec api.JobSpec, df distFlags, ledger string, w io.Writer, logf func(string, ...interface{})) error {
 	if ledger == "" {
 		return fmt.Errorf("-dist-listen requires -checkpoint (the merge ledger)")
@@ -46,9 +52,11 @@ func runCoordinator(ctx context.Context, spec api.JobSpec, df distFlags, ledger 
 		return err
 	}
 	defer srv.Shutdown()
-	fmt.Fprintf(os.Stderr, "gmap-eval: coordinating %s on http://%s (%+v)\n", spec.Experiment, srv.Addr(), c.StatusSnapshot())
+	fmt.Fprintf(os.Stderr, "gmap-eval: coordinating %s on %s (epoch %d)\n", spec.Experiment, srv.URL(), c.Epoch())
 	if df.addrFile != "" {
-		if err := os.WriteFile(df.addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+		// Atomic rename, same as a standby's takeover rewrite: a worker
+		// polling the file never reads a torn address.
+		if err := dist.WriteAddrFile(nil, df.addrFile, srv.URL()); err != nil {
 			return err
 		}
 	}
@@ -62,12 +70,83 @@ func runCoordinator(ctx context.Context, spec api.JobSpec, df distFlags, ledger 
 	return c.WriteReport(w)
 }
 
+// runStandby watches the active coordinator and, if it goes dark,
+// takes over the sweep from the shared ledger: salvage, epoch bump
+// (fencing the predecessor), serve, rewrite the addr file, and render
+// the report when the sweep completes.
+func runStandby(ctx context.Context, spec api.JobSpec, df distFlags, ledger string, w io.Writer, logf func(string, ...interface{})) error {
+	if ledger == "" {
+		return fmt.Errorf("-dist-standby requires -checkpoint (the shared merge ledger)")
+	}
+	var watch []string
+	if df.worker != "" {
+		watch = strings.Split(df.worker, ",")
+	}
+	if len(watch) == 0 && df.workerAddrFile == "" {
+		return fmt.Errorf("-dist-standby requires the active coordinator's URL (-worker) or -worker-addr-file")
+	}
+	if len(watch) == 0 && df.workerAddrFile != "" {
+		data, err := os.ReadFile(df.workerAddrFile)
+		if err != nil {
+			return fmt.Errorf("-worker-addr-file: %w", err)
+		}
+		watch = []string{strings.TrimSpace(string(data))}
+	}
+	t, err := dist.RunStandby(ctx, dist.StandbyOptions{
+		Spec:           spec,
+		Ledger:         ledger,
+		Listen:         df.listen,
+		AddrFile:       df.addrFile,
+		Watch:          watch,
+		HealthInterval: df.healthInterval,
+		HealthMisses:   df.healthMisses,
+		Parts:          df.parts,
+		LeaseTTL:       df.leaseTTL,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		fmt.Fprintf(os.Stderr, "gmap-eval: standby: active coordinator finished the sweep; standing down\n")
+		return nil
+	}
+	c := t.Coordinator
+	defer c.Close()
+	if t.Server != nil {
+		defer t.Server.Shutdown()
+		fmt.Fprintf(os.Stderr, "gmap-eval: standby took over %s on %s (epoch %d)\n", spec.Experiment, t.Server.URL(), c.Epoch())
+	}
+	if err := c.WaitDone(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gmap-eval: interrupted; merged points saved to %s, re-run to resume\n", ledger)
+		return err
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return c.WriteReport(w)
+}
+
 // runWorker joins a coordinator and processes leases until the sweep
 // completes. The sweep's shape comes from the coordinator inside each
-// lease grant; only execution knobs are local.
-func runWorker(ctx context.Context, url string, workers, simWorkers int, logf func(string, ...interface{})) error {
+// lease grant; only execution knobs are local. urls may name several
+// coordinator endpoints (active plus standby), and addrFile — re-read
+// before every retry — overrides them all, so a standby takeover
+// redirects the worker without restart.
+func runWorker(ctx context.Context, urls, addrFile string, workers, simWorkers int, logf func(string, ...interface{})) error {
+	var endpoints []string
+	if urls != "" {
+		endpoints = strings.Split(urls, ",")
+	}
+	var first string
+	if len(endpoints) > 0 {
+		first = endpoints[0]
+		endpoints = endpoints[1:]
+	}
 	return dist.RunWorker(ctx, dist.WorkerOptions{
-		Coordinator: url,
+		Coordinator: first,
+		Endpoints:   endpoints,
+		AddrFile:    addrFile,
 		Workers:     workers,
 		SimWorkers:  simWorkers,
 		Logf:        logf,

@@ -22,6 +22,16 @@
 //
 //	gmap-eval -exp fig6a -dist-listen :9500 -checkpoint fig6a.ckpt
 //	gmap-eval -worker http://host:9500   # on each worker machine
+//
+// For high availability, a standby coordinator on the same filesystem
+// watches the active one and takes over if it dies — epoch fencing over
+// the shared ledger keeps a deposed coordinator from corrupting the
+// merge, and workers rediscover the successor through the addr file:
+//
+//	gmap-eval -exp fig6a -dist-listen :9500 -dist-addr-file coord.addr -checkpoint fig6a.ckpt
+//	gmap-eval -exp fig6a -dist-standby -worker http://host:9500 -dist-listen :9501 \
+//	    -dist-addr-file coord.addr -checkpoint fig6a.ckpt
+//	gmap-eval -worker-addr-file coord.addr   # workers follow the file across failover
 package main
 
 import (
@@ -72,14 +82,18 @@ func main() {
 		distAddr    = flag.String("dist-addr-file", "", "write the coordinator's bound address to this file (for scripts using -dist-listen :0)")
 		distParts   = flag.Int("dist-parts", 0, "partitions of the distributed job space (0 = 8; capped at the job count)")
 		distTTL     = flag.Duration("dist-lease-ttl", 0, "lease heartbeat deadline before a worker's partition is re-leased (0 = 30s)")
-		workerURL   = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL instead of sweeping locally")
+		workerURL   = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL (comma-separate standby endpoints); with -dist-standby, the active coordinator URL to watch")
+		workerAddr  = flag.String("worker-addr-file", "", "discover (and re-discover after failover) the coordinator address from this file; preferred over -worker when both are set")
+		distStandby = flag.Bool("dist-standby", false, "run as a standby coordinator: watch the active one (-worker / -worker-addr-file) over the shared -checkpoint ledger and take over if it dies")
+		distHealthI = flag.Duration("dist-health-interval", 0, "standby health-probe interval (0 = 1s)")
+		distHealthM = flag.Int("dist-health-misses", 0, "consecutive failed probes (with no ledger growth) before the standby takes over (0 = 3)")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
-	if *workerURL != "" && *distListen != "" {
-		fatal(fmt.Errorf("-worker and -dist-listen are mutually exclusive"))
+	if *workerURL != "" && *distListen != "" && !*distStandby {
+		fatal(fmt.Errorf("-worker and -dist-listen are mutually exclusive (unless -dist-standby)"))
 	}
 
 	// Ctrl-C cancels in-flight sweeps cleanly: completed points are
@@ -93,13 +107,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if *workerURL != "" {
-		if err := runWorker(ctx, *workerURL, *workers, *simWorkers, distLogf); err != nil && ctx.Err() == nil {
-			fatal(err)
+	if *workerURL != "" || *workerAddr != "" || *distStandby || *distListen != "" {
+		df := distFlags{
+			listen:         *distListen,
+			addrFile:       *distAddr,
+			parts:          *distParts,
+			leaseTTL:       *distTTL,
+			worker:         *workerURL,
+			workerAddrFile: *workerAddr,
+			standby:        *distStandby,
+			healthInterval: *distHealthI,
+			healthMisses:   *distHealthM,
 		}
-		return
-	}
-	if *distListen != "" {
+		if !df.standby && df.listen == "" {
+			// Plain worker mode: the sweep's shape comes from the
+			// coordinator inside each lease grant.
+			if err := runWorker(ctx, df.worker, df.workerAddrFile, *workers, *simWorkers, distLogf); err != nil && ctx.Err() == nil {
+				fatal(err)
+			}
+			return
+		}
 		spec := api.JobSpec{
 			Kind:        api.KindSweep,
 			Experiment:  *exp,
@@ -120,8 +147,11 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		df := distFlags{listen: *distListen, addrFile: *distAddr, parts: *distParts, leaseTTL: *distTTL}
-		if err := runCoordinator(ctx, spec, df, *checkpoint, w, distLogf); err != nil && ctx.Err() == nil {
+		run := runCoordinator
+		if df.standby {
+			run = runStandby
+		}
+		if err := run(ctx, spec, df, *checkpoint, w, distLogf); err != nil && ctx.Err() == nil {
 			fatal(err)
 		}
 		return

@@ -51,6 +51,10 @@ func main() {
 		defTenant = flag.String("default-tenant", "anonymous", "tenant attributed to requests without an X-Gmap-Tenant header")
 		quiet     = flag.Bool("quiet", false, "suppress per-job log lines")
 		workerURL = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL instead of serving (uses -sweep-workers as the local pool size)")
+		distSweep = flag.Bool("dist-sweeps", false, "offer sweep jobs to a distributed worker fleet (workers dial this server's /dist/v1/), falling back to local execution from the same checkpoint if the fleet stalls")
+		distDL    = flag.Duration("dist-deadline", 0, "no-progress deadline before a delegated sweep falls back to local execution (0 = 2m; with -dist-sweeps)")
+		distParts = flag.Int("dist-parts", 0, "partitions of each delegated sweep's job space (0 = 8; with -dist-sweeps)")
+		distTTL   = flag.Duration("dist-lease-ttl", 0, "worker lease heartbeat deadline for delegated sweeps (0 = 30s; with -dist-sweeps)")
 	)
 	flag.Parse()
 
@@ -104,6 +108,15 @@ func main() {
 		opts.Logf = func(format string, args ...interface{}) {
 			log.Printf("gmap-served: "+format, args...)
 		}
+	}
+	if *distSweep {
+		opts.SweepDelegate = dist.NewDelegate(dist.DelegateOptions{
+			Parts:    *distParts,
+			LeaseTTL: *distTTL,
+			Deadline: *distDL,
+			Obs:      reg,
+			Logf:     opts.Logf,
+		})
 	}
 	svc, err := api.New(opts)
 	if err != nil {

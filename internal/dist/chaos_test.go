@@ -206,7 +206,7 @@ func TestChaosTornLedgerWrite(t *testing.T) {
 		Ledger:   ledger,
 		FS:       ifs,
 	})
-	g := c.Lease("w")
+	g := mustLease(t, c, "w")
 	if g.Status != GrantLease {
 		t.Fatalf("grant %+v", g)
 	}
@@ -214,7 +214,7 @@ func TestChaosTornLedgerWrite(t *testing.T) {
 	for _, k := range g.Keys {
 		entries = append(entries, Entry{Key: k, Value: payloadFor(k), ElapsedNS: 1e6})
 	}
-	accepted, _, err := c.Results(g.Lease, entries)
+	accepted, _, err := c.Results(g.Lease, g.Epoch, entries)
 	if err == nil {
 		t.Fatal("batch survived a crashed ledger stream")
 	}
@@ -237,7 +237,7 @@ func TestChaosTornLedgerWrite(t *testing.T) {
 	if st.Restored != accepted {
 		t.Errorf("restart restored %d, crashed coordinator appended %d", st.Restored, accepted)
 	}
-	g2 := c2.Lease("w2")
+	g2 := mustLease(t, c2, "w2")
 	if g2.Status != GrantLease {
 		t.Fatalf("grant after restart: %+v", g2)
 	}
@@ -248,7 +248,7 @@ func TestChaosTornLedgerWrite(t *testing.T) {
 	for _, k := range g2.Keys {
 		rest = append(rest, Entry{Key: k, Value: payloadFor(k), ElapsedNS: 1e6})
 	}
-	if _, _, err := c2.Results(g2.Lease, rest); err != nil {
+	if _, _, err := c2.Results(g2.Lease, g2.Epoch, rest); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -274,14 +274,14 @@ func TestChaosTornLedgerWrite(t *testing.T) {
 // merged and nothing reaches the ledger.
 func TestChaosDivergentPayloadRejected(t *testing.T) {
 	c, _, _ := syntheticCoordinator(t, 6, CoordinatorOptions{Parts: 1, LeaseTTL: time.Minute})
-	g := c.Lease("w")
+	g := mustLease(t, c, "w")
 	first := g.Keys[0]
-	if _, _, err := c.Results(g.Lease, []Entry{{Key: first, Value: payloadFor(first), ElapsedNS: 1}}); err != nil {
+	if _, _, err := c.Results(g.Lease, g.Epoch, []Entry{{Key: first, Value: payloadFor(first), ElapsedNS: 1}}); err != nil {
 		t.Fatal(err)
 	}
 
 	fresh := g.Keys[1]
-	_, _, err := c.Results(g.Lease, []Entry{
+	_, _, err := c.Results(g.Lease, g.Epoch, []Entry{
 		{Key: fresh, Value: payloadFor(fresh), ElapsedNS: 1},
 		{Key: first, Value: json.RawMessage(`{"job":"tampered"}`), ElapsedNS: 1},
 	})
@@ -304,10 +304,10 @@ func TestChaosDivergentPayloadRejected(t *testing.T) {
 
 	// An identical resubmission, by contrast, is a counted duplicate.
 	c2, _, _ := syntheticCoordinator(t, 4, CoordinatorOptions{Parts: 1, LeaseTTL: time.Minute})
-	g2 := c2.Lease("w")
+	g2 := mustLease(t, c2, "w")
 	k := g2.Keys[0]
 	for i := 0; i < 2; i++ {
-		if _, _, err := c2.Results(g2.Lease, []Entry{{Key: k, Value: payloadFor(k), ElapsedNS: 1}}); err != nil {
+		if _, _, err := c2.Results(g2.Lease, g2.Epoch, []Entry{{Key: k, Value: payloadFor(k), ElapsedNS: 1}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -321,8 +321,8 @@ func TestChaosDivergentPayloadRejected(t *testing.T) {
 // belonging to a different sweep refuses to restore at all.
 func TestChaosForeignKeyRejected(t *testing.T) {
 	c, _, _ := syntheticCoordinator(t, 4, CoordinatorOptions{Parts: 1, LeaseTTL: time.Minute})
-	g := c.Lease("w")
-	_, _, err := c.Results(g.Lease, []Entry{{Key: "deadbeef", Value: json.RawMessage(`{}`), ElapsedNS: 1}})
+	g := mustLease(t, c, "w")
+	_, _, err := c.Results(g.Lease, g.Epoch, []Entry{{Key: "deadbeef", Value: json.RawMessage(`{}`), ElapsedNS: 1}})
 	if !errors.Is(err, ErrForeignKey) {
 		t.Fatalf("foreign result: %v", err)
 	}

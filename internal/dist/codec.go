@@ -13,8 +13,9 @@ import (
 // re-marshaling could reformat the bytes and break the byte-level
 // payload-identity contract of the merged ledger. Layout:
 //
-//	magic "gmapdist1\n"
+//	magic "gmapdist2\n"
 //	uvarint leaseLen, lease bytes
+//	uvarint epoch (coordinator incarnation the lease was granted under)
 //	uvarint entryCount
 //	per entry: uvarint keyLen, key,
 //	           uvarint valueLen, value (must be valid JSON),
@@ -22,8 +23,11 @@ import (
 //
 // Every length is capped before allocation and decoded incrementally,
 // so a hostile count or length field can reject but never allocate
-// gigabytes or wrap an int (same hardening as the trace codec).
-const batchMagic = "gmapdist1\n"
+// gigabytes or wrap an int (same hardening as the trace codec). The
+// magic was bumped from "gmapdist1\n" when the epoch field landed:
+// v1 batches carry no fencing epoch, so decoding them against the
+// failover-era protocol would be unsound — they are rejected outright.
+const batchMagic = "gmapdist2\n"
 
 // Wire caps. Keys are 24-hex job hashes and leases are short tokens;
 // values are one simulation point's JSON. The caps leave generous
@@ -40,7 +44,11 @@ type Batch struct {
 	// Lease identifies the grant the results were computed under. The
 	// coordinator accepts results from revoked leases too — identity
 	// lives in the entry keys — but uses the lease to refresh liveness.
-	Lease   string
+	Lease string
+	// Epoch is the coordinator incarnation the lease was granted under.
+	// A coordinator rejects a whole batch fenced to a stale epoch before
+	// validating or writing anything (split-brain safety).
+	Epoch   uint64
 	Entries []Entry
 }
 
@@ -54,6 +62,7 @@ func EncodeBatch(b *Batch) ([]byte, error) {
 	out = append(out, batchMagic...)
 	out = binary.AppendUvarint(out, uint64(len(b.Lease)))
 	out = append(out, b.Lease...)
+	out = binary.AppendUvarint(out, b.Epoch)
 	out = binary.AppendUvarint(out, uint64(len(b.Entries)))
 	for i := range b.Entries {
 		e := &b.Entries[i]
@@ -127,11 +136,15 @@ func DecodeBatch(data []byte) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, err := r.uvarint("epoch", uint64(1)<<62)
+	if err != nil {
+		return nil, err
+	}
 	count, err := r.uvarint("entry count", maxBatchBytes)
 	if err != nil {
 		return nil, err
 	}
-	b := &Batch{Lease: string(lease)}
+	b := &Batch{Lease: string(lease), Epoch: epoch}
 	for i := uint64(0); i < count; i++ {
 		keyLen, err := r.uvarint("key length", maxKeyLen)
 		if err != nil {

@@ -17,9 +17,10 @@ func FuzzDecodeBatch(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(good)
-	f.Add(good[:len(good)/2])                                       // truncated mid-entry
-	f.Add([]byte(batchMagic))                                       // header only
-	f.Add(append([]byte(batchMagic), 0x00, 0xff, 0xff, 0xff, 0x7f)) // hostile entry count
+	f.Add(good[:len(good)/2])                                             // truncated mid-entry
+	f.Add([]byte(batchMagic))                                             // header only
+	f.Add(append([]byte(batchMagic), 0x00, 0x07, 0xff, 0xff, 0xff, 0x7f)) // hostile entry count
+	f.Add(append([]byte("gmapdist1\n"), good[len(batchMagic):]...))       // pre-epoch v1 magic
 	empty, err := EncodeBatch(&Batch{})
 	if err != nil {
 		f.Fatal(err)

@@ -10,7 +10,8 @@ import (
 
 func sampleBatch() *Batch {
 	return &Batch{
-		Lease: "lease-0042",
+		Lease: "lease-2-0042",
+		Epoch: 2,
 		Entries: []Entry{
 			{Key: "aabbccddeeff001122334455", Value: json.RawMessage(`{"orig":0.25,"prox":0.24}`), ElapsedNS: 1234567},
 			{Key: "ffeeddccbbaa998877665544", Value: json.RawMessage(`{"err":1.5,"orig_ns":42}`), ElapsedNS: 0},
@@ -61,8 +62,15 @@ func TestBatchDecodeRejects(t *testing.T) {
 		"truncated tail": good[:len(good)-3],
 		"trailing bytes": append(append([]byte(nil), good...), 0x00),
 		// A count field claiming a billion entries with no data behind it
-		// must reject without allocating a billion entries.
-		"hostile count": append([]byte(batchMagic), 0x00, 0xff, 0xff, 0xff, 0xff, 0x03),
+		// must reject without allocating a billion entries (0x00 lease
+		// length, 0x07 epoch, then the hostile count).
+		"hostile count": append([]byte(batchMagic), 0x00, 0x07, 0xff, 0xff, 0xff, 0xff, 0x03),
+		// An epoch past the 2^62 cap rejects (10-byte uvarint of 2^63).
+		"hostile epoch": append([]byte(batchMagic), 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0x00),
+		// Pre-failover v1 batches carry no fencing epoch; decoding them
+		// against the current protocol would be unsound, so the old magic
+		// is rejected outright.
+		"v1 magic": append([]byte("gmapdist1\n"), good[len(batchMagic):]...),
 	}
 	for name, data := range cases {
 		if _, err := DecodeBatch(data); err == nil {

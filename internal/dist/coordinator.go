@@ -103,6 +103,12 @@ type lease struct {
 	lastResult time.Time
 }
 
+// workerStat tracks one worker's liveness across its leases.
+type workerStat struct {
+	granted  uint64
+	lastSeen time.Time
+}
+
 // LeaseGrant is the coordinator's answer to a lease request.
 type LeaseGrant struct {
 	// Status is "lease" (Keys/Spec are populated), "wait" (all parts are
@@ -110,6 +116,10 @@ type LeaseGrant struct {
 	Status string `json:"status"`
 	// Lease is the grant's id, quoted back on heartbeat/results/complete.
 	Lease string `json:"lease,omitempty"`
+	// Epoch is the granting coordinator's incarnation. Every operation on
+	// the lease must quote it back; after a takeover the new coordinator
+	// fences traffic carrying an older epoch (ErrStaleEpoch).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Part and Parts locate the granted partition.
 	Part  int `json:"part,omitempty"`
 	Parts int `json:"parts,omitempty"`
@@ -133,9 +143,13 @@ const (
 )
 
 // Status is a point-in-time snapshot of coordinator state, served on
-// GET /dist/v1/status and asserted on by the chaos suites.
+// GET /dist/v1/status and asserted on by the chaos suites. Partitions
+// and Workers are the auto-scaling hook surface: lease ages expose
+// stragglers, worker last-seen timestamps expose dead workers.
 type Status struct {
 	Experiment string `json:"experiment"`
+	Epoch      uint64 `json:"epoch"`
+	Deposed    bool   `json:"deposed,omitempty"`
 	TotalJobs  int    `json:"total_jobs"`
 	DoneJobs   int    `json:"done_jobs"`
 	Parts      int    `json:"parts"`
@@ -148,6 +162,29 @@ type Status struct {
 	Late       uint64 `json:"late_results"`
 	Restored   int    `json:"restored"`
 	Done       bool   `json:"done"`
+	Partitions []PartStatus   `json:"partitions,omitempty"`
+	Workers    []WorkerStatus `json:"workers,omitempty"`
+}
+
+// PartStatus is one partition's progress in a Status snapshot.
+type PartStatus struct {
+	Part      int    `json:"part"`
+	Keys      int    `json:"keys"`
+	Remaining int    `json:"remaining"`
+	// Lease/Worker/LeaseAgeNS describe the live lease, if any. LeaseAgeNS
+	// is time since the grant — a straggler detector for auto-scalers.
+	Lease      string `json:"lease,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	LeaseAgeNS int64  `json:"lease_age_ns,omitempty"`
+}
+
+// WorkerStatus is one worker's liveness in a Status snapshot: every
+// worker that ever held a lease this incarnation, with the wall-clock
+// instant of its last lease/heartbeat/result.
+type WorkerStatus struct {
+	Name           string `json:"name"`
+	Granted        uint64 `json:"granted"`
+	LastSeenUnixNS int64  `json:"last_seen_unix_ns"`
 }
 
 // Coordinator owns the sweep's job universe: it enumerates the keys,
@@ -164,6 +201,10 @@ type Coordinator struct {
 	leases   map[string]*lease // live only
 	done     map[string]json.RawMessage
 	appender *runner.CheckpointAppender
+	journal  *runner.CheckpointAppender // lease journal; nil after a write error (best-effort)
+	epoch    uint64
+	deposed  bool // a higher epoch is persisted: permanently fenced
+	workers  map[string]*workerStat
 	seq      int
 	elapsed  int64 // summed ElapsedNS of first-time results
 	granted  uint64
@@ -216,8 +257,22 @@ func newCoordinator(spec api.JobSpec, keys []string, o CoordinatorOptions) (*Coo
 		universe: make(map[string]int, len(keys)),
 		leases:   make(map[string]*lease),
 		done:     make(map[string]json.RawMessage),
+		workers:  make(map[string]*workerStat),
 		finished: make(chan struct{}),
 		now:      time.Now,
+	}
+
+	// Claim the next epoch before reading anything else: persisting
+	// epoch+1 is what fences a predecessor that is still running — its
+	// next fence check sees the bump and refuses to touch the ledger, so
+	// everything this incarnation salvages below stays consistent.
+	prev, err := ReadEpoch(c.fs(), o.Ledger)
+	if err != nil {
+		return nil, err
+	}
+	c.epoch = prev + 1
+	if err := writeEpoch(c.fs(), o.Ledger, c.epoch); err != nil {
+		return nil, err
 	}
 	nparts := o.Parts
 	if nparts > len(keys) {
@@ -259,16 +314,100 @@ func newCoordinator(spec api.JobSpec, keys []string, o CoordinatorOptions) (*Coo
 		o.Obs.Counter("dist.ledger_torn_bytes").Add(uint64(salvage.TornBytes))
 	}
 	o.Obs.Counter("dist.ledger_restored").Add(uint64(c.restored))
-	c.logf("dist: sweep %s: %d jobs in %d parts (%d restored from %s)",
-		spec.Experiment, len(keys), nparts, c.restored, o.Ledger)
+	c.logf("dist: sweep %s: epoch %d, %d jobs in %d parts (%d restored from %s)",
+		spec.Experiment, c.epoch, len(keys), nparts, c.restored, o.Ledger)
 
 	app, err := runner.OpenCheckpointAppender(c.fs(), o.Ledger, false)
 	if err != nil {
 		return nil, err
 	}
 	c.appender = app
+
+	// The lease journal is advisory (salvaged loosely, appended
+	// best-effort): losing it can cost observability, never correctness.
+	// A torn tail from a killed predecessor is truncated before reopening
+	// so new lines cannot glue onto garbage.
+	if _, _, jerr := runner.SalvageCheckpoint(c.fs(), JournalPath(o.Ledger)); jerr != nil {
+		c.logf("dist: lease journal %s unusable: %v", JournalPath(o.Ledger), jerr)
+		o.Obs.Counter("dist.journal_errors").Inc()
+	} else if j, jerr := runner.OpenCheckpointAppender(c.fs(), JournalPath(o.Ledger), false); jerr != nil {
+		c.logf("dist: lease journal %s unusable: %v", JournalPath(o.Ledger), jerr)
+		o.Obs.Counter("dist.journal_errors").Inc()
+	} else {
+		c.journal = j
+	}
+	c.journalLocked("epoch", "claimed", -1, "")
+
 	c.checkFinishedLocked()
 	return c, nil
+}
+
+// journalLocked appends one lease-state transition to the lease
+// journal, best-effort: a journal that cannot be written is dropped
+// (and counted) rather than failing the operation that triggered it.
+func (c *Coordinator) journalLocked(leaseID, state string, part int, worker string) {
+	if c.journal == nil {
+		return
+	}
+	rec := struct {
+		Epoch  uint64 `json:"epoch"`
+		State  string `json:"state"`
+		Part   int    `json:"part,omitempty"`
+		Worker string `json:"worker,omitempty"`
+		AtNS   int64  `json:"at_unix_ns"`
+	}{Epoch: c.epoch, State: state, Part: part, Worker: worker, AtNS: c.now().UnixNano()}
+	val, err := json.Marshal(rec)
+	if err == nil {
+		err = c.journal.Append(leaseID, val, 0)
+	}
+	if err != nil {
+		c.logf("dist: lease journal: %v (journaling disabled)", err)
+		c.o.Obs.Counter("dist.journal_errors").Inc()
+		_ = c.journal.Close()
+		c.journal = nil
+	}
+}
+
+// Epoch is this incarnation's fencing epoch.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// fenceLocked is the split-brain guard, called before every mutating
+// operation: it re-reads the persisted epoch and, if a later
+// incarnation has claimed the ledger, permanently fences this one —
+// the ledger appender is closed so not even a bug can write through
+// it. reqEpoch is the epoch the request was fenced to; < 0 skips the
+// request check (lease requests carry no epoch yet).
+func (c *Coordinator) fenceLocked(reqEpoch int64) error {
+	if c.deposed {
+		return fmt.Errorf("%w: coordinator epoch %d was deposed", ErrStaleEpoch, c.epoch)
+	}
+	cur, err := ReadEpoch(c.fs(), c.o.Ledger)
+	if err != nil {
+		return err
+	}
+	if cur != c.epoch {
+		c.deposed = true
+		if c.appender != nil {
+			_ = c.appender.Close()
+			c.appender = nil
+		}
+		if c.journal != nil {
+			_ = c.journal.Close()
+			c.journal = nil
+		}
+		c.o.Obs.Counter("dist.deposed").Inc()
+		c.logf("dist: epoch %d deposed by persisted epoch %d; fencing", c.epoch, cur)
+		return fmt.Errorf("%w: coordinator epoch %d deposed by epoch %d", ErrStaleEpoch, c.epoch, cur)
+	}
+	if reqEpoch >= 0 && uint64(reqEpoch) != c.epoch {
+		c.o.Obs.Counter("dist.stale_epoch_rejections").Inc()
+		return fmt.Errorf("%w: request epoch %d, coordinator epoch %d", ErrStaleEpoch, reqEpoch, c.epoch)
+	}
+	return nil
 }
 
 func (c *Coordinator) fs() fault.FS {
@@ -294,11 +433,15 @@ func compactValue(v json.RawMessage) (json.RawMessage, error) {
 	return json.RawMessage(buf.Bytes()), nil
 }
 
-// Close flushes and closes the ledger. The coordinator stays queryable
-// but refuses further results.
+// Close flushes and closes the ledger and lease journal. The
+// coordinator stays queryable but refuses further results.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.journal != nil {
+		_ = c.journal.Close()
+		c.journal = nil
+	}
 	if c.appender == nil {
 		return nil
 	}
@@ -323,31 +466,50 @@ func (c *Coordinator) WaitDone(ctx context.Context) error {
 // Lease grants the requesting worker a partition: the first unleased
 // part with unrecorded keys, or — when every such part is taken — a
 // stolen straggler. With nothing grantable it answers "wait", and once
-// every key is recorded, "done".
-func (c *Coordinator) Lease(worker string) LeaseGrant {
+// every key is recorded, "done". A deposed coordinator refuses to
+// grant (ErrStaleEpoch): the worker's retry loop finds the successor.
+func (c *Coordinator) Lease(worker string) (LeaseGrant, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fenceLocked(-1); err != nil {
+		return LeaseGrant{}, err
+	}
+	c.seenLocked(worker)
 	c.expireLocked()
 	if c.doneLocked() {
-		return LeaseGrant{Status: GrantDone}
+		return LeaseGrant{Status: GrantDone, Epoch: c.epoch}, nil
 	}
 	for _, p := range c.parts {
 		if len(p.remaining) > 0 && p.leaseID == "" {
-			return c.grantLocked(worker, p)
+			return c.grantLocked(worker, p), nil
 		}
 	}
 	if p := c.stealLocked(); p != nil {
-		return c.grantLocked(worker, p)
+		return c.grantLocked(worker, p), nil
 	}
-	return LeaseGrant{Status: GrantWait, RetryNS: int64(c.o.LeaseTTL / 4)}
+	return LeaseGrant{Status: GrantWait, Epoch: c.epoch, RetryNS: int64(c.o.LeaseTTL / 4)}, nil
+}
+
+// seenLocked refreshes a worker's last-seen instant.
+func (c *Coordinator) seenLocked(worker string) *workerStat {
+	ws := c.workers[worker]
+	if ws == nil {
+		ws = &workerStat{}
+		c.workers[worker] = ws
+	}
+	ws.lastSeen = c.now()
+	return ws
 }
 
 // grantLocked issues a lease on part p to worker.
 func (c *Coordinator) grantLocked(worker string, p *partState) LeaseGrant {
 	c.seq++
 	c.granted++
+	c.seenLocked(worker).granted++
 	c.o.Obs.Counter("dist.leases_granted").Inc()
-	id := fmt.Sprintf("lease-%04d", c.seq)
+	// Ids are epoch-qualified so a lease can never collide with one a
+	// predecessor granted (each incarnation restarts seq at 0).
+	id := fmt.Sprintf("lease-%d-%04d", c.epoch, c.seq)
 	now := c.now()
 	l := &lease{id: id, worker: worker, part: p.id, granted: now, renewed: now}
 	c.leases[id] = l
@@ -357,10 +519,12 @@ func (c *Coordinator) grantLocked(worker string, p *partState) LeaseGrant {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	c.journalLocked(id, "granted", p.id, worker)
 	c.logf("dist: lease %s: part %d/%d (%d keys) -> worker %s", id, p.id, len(c.parts), len(keys), worker)
 	return LeaseGrant{
 		Status: GrantLease,
 		Lease:  id,
+		Epoch:  c.epoch,
 		Part:   p.id,
 		Parts:  len(c.parts),
 		Keys:   keys,
@@ -378,6 +542,7 @@ func (c *Coordinator) expireLocked() {
 			c.o.Obs.Counter("dist.leases_expired").Inc()
 			c.logf("dist: lease %s (part %d, worker %s) expired after %v without heartbeat",
 				id, l.part, l.worker, now.Sub(l.renewed))
+			c.journalLocked(id, "expired", l.part, l.worker)
 			c.revokeLocked(l)
 		}
 	}
@@ -434,22 +599,28 @@ func (c *Coordinator) stealLocked() *partState {
 	c.o.Obs.Counter("dist.leases_stolen").Inc()
 	c.logf("dist: stealing lease %s (part %d, worker %s): no result for > %v",
 		victim.id, victim.part, victim.worker, threshold)
+	c.journalLocked(victim.id, "stolen", victim.part, victim.worker)
 	p := c.parts[victim.part]
 	c.revokeLocked(victim)
 	return p
 }
 
 // Heartbeat renews a lease's TTL. ErrLeaseGone tells the worker its
-// grant was revoked and the shard should be abandoned.
-func (c *Coordinator) Heartbeat(leaseID string) error {
+// grant was revoked and the shard should be abandoned; ErrStaleEpoch
+// tells it the coordinator changed and it must re-lease.
+func (c *Coordinator) Heartbeat(leaseID string, epoch uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fenceLocked(int64(epoch)); err != nil {
+		return err
+	}
 	c.expireLocked()
 	l, ok := c.leases[leaseID]
 	if !ok {
 		return ErrLeaseGone
 	}
 	l.renewed = c.now()
+	c.seenLocked(l.worker)
 	return nil
 }
 
@@ -459,12 +630,17 @@ func (c *Coordinator) Heartbeat(leaseID string) error {
 // results from revoked leases are folded in (the work is done — the
 // determinism contract makes it indistinguishable from the live
 // holder's), and a payload that diverges from the recorded one rejects
-// the whole batch before any ledger write. The error return is either
-// a validation rejection (ErrDivergent/ErrForeignKey) or a ledger
-// append failure.
-func (c *Coordinator) Results(leaseID string, entries []Entry) (accepted, duplicates int, err error) {
+// the whole batch before any ledger write. The fence check runs before
+// anything else: a batch fenced to a stale epoch is rejected whole,
+// pre-validation and pre-write, no matter what it contains. The error
+// return is a fencing rejection (ErrStaleEpoch), a validation
+// rejection (ErrDivergent/ErrForeignKey) or a ledger append failure.
+func (c *Coordinator) Results(leaseID string, epoch uint64, entries []Entry) (accepted, duplicates int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fenceLocked(int64(epoch)); err != nil {
+		return 0, 0, err
+	}
 	c.expireLocked()
 	if c.appender == nil {
 		return 0, 0, errors.New("dist: coordinator is closed")
@@ -529,6 +705,7 @@ func (c *Coordinator) Results(leaseID string, entries []Entry) (accepted, duplic
 		if accepted > 0 {
 			l.lastResult = now
 		}
+		c.seenLocked(l.worker)
 	}
 	c.o.Obs.Counter("dist.results_merged").Add(uint64(accepted))
 	return accepted, duplicates, nil
@@ -565,42 +742,48 @@ func (c *Coordinator) checkFinishedLocked() {
 // results that mattered were already merged, or the part was re-leased
 // — either way the worker is free to move on); a live lease whose part
 // still has unrecorded keys is revoked and re-pooled, answering
-// "incomplete".
-func (c *Coordinator) Complete(leaseID string) string {
+// "incomplete". A stale epoch is an error: the worker must re-lease.
+func (c *Coordinator) Complete(leaseID string, epoch uint64) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fenceLocked(int64(epoch)); err != nil {
+		return "", err
+	}
 	c.expireLocked()
 	l, ok := c.leases[leaseID]
 	if !ok {
-		return "superseded"
+		return "superseded", nil
 	}
+	c.seenLocked(l.worker)
 	p := c.parts[l.part]
 	if len(p.remaining) > 0 {
 		c.logf("dist: lease %s completed with %d keys unrecorded; re-pooling part %d", leaseID, len(p.remaining), l.part)
+		c.journalLocked(leaseID, "incomplete", l.part, l.worker)
 		c.revokeLocked(l)
-		return "incomplete"
+		return "incomplete", nil
 	}
+	c.journalLocked(leaseID, "completed", l.part, l.worker)
 	c.revokeLocked(l)
-	return "ok"
+	return "ok", nil
 }
 
-// StatusSnapshot reports progress for /dist/v1/status and the tests.
+// StatusSnapshot reports progress for /dist/v1/status and the tests:
+// aggregate counters plus the per-partition lease ages and per-worker
+// last-seen timestamps an auto-scaler (or a standby deciding whether
+// the sweep is actually stuck) keys on.
 func (c *Coordinator) StatusSnapshot() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
+	now := c.now()
 	doneParts := 0
-	for _, p := range c.parts {
-		if len(p.remaining) == 0 {
-			doneParts++
-		}
-	}
-	return Status{
+	st := Status{
 		Experiment: c.spec.Experiment,
+		Epoch:      c.epoch,
+		Deposed:    c.deposed,
 		TotalJobs:  len(c.universe),
 		DoneJobs:   len(c.done),
 		Parts:      len(c.parts),
-		DoneParts:  doneParts,
 		LiveLeases: len(c.leases),
 		Granted:    c.granted,
 		Expired:    c.expired,
@@ -610,6 +793,33 @@ func (c *Coordinator) StatusSnapshot() Status {
 		Restored:   c.restored,
 		Done:       c.doneLocked(),
 	}
+	for _, p := range c.parts {
+		if len(p.remaining) == 0 {
+			doneParts++
+		}
+		ps := PartStatus{Part: p.id, Keys: len(p.keys), Remaining: len(p.remaining)}
+		if l := c.leases[p.leaseID]; p.leaseID != "" && l != nil {
+			ps.Lease = l.id
+			ps.Worker = l.worker
+			ps.LeaseAgeNS = now.Sub(l.granted).Nanoseconds()
+		}
+		st.Partitions = append(st.Partitions, ps)
+	}
+	st.DoneParts = doneParts
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name:           name,
+			Granted:        ws.granted,
+			LastSeenUnixNS: ws.lastSeen.UnixNano(),
+		})
+	}
+	return st
 }
 
 // Replay returns the evaluation options that regenerate the merged
@@ -633,6 +843,11 @@ func (c *Coordinator) Replay() (eval.Options, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deposed {
+		// Ownership of the ledger moved to a later incarnation; rendering
+		// here would race its appends.
+		return eval.Options{}, fmt.Errorf("%w: deposed coordinator cannot replay", ErrStaleEpoch)
+	}
 	for k := range c.universe {
 		if _, ok := vals[k]; !ok {
 			return eval.Options{}, fmt.Errorf("dist: ledger %s lost job %q between merge and replay", c.o.Ledger, k)

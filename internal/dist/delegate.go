@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/uteda/gmap/internal/fault"
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/serve/api"
+)
+
+// Delegate errors. Both tell the serving layer "run it locally
+// instead"; they are distinct so the fallback reason is observable.
+var (
+	// ErrBusy reports a second concurrent sweep offered to a delegate
+	// whose single coordinator slot is taken.
+	ErrBusy = errors.New("dist: delegate is already coordinating a sweep")
+	// ErrNoProgress reports a delegated sweep that merged nothing for the
+	// whole progress deadline — no workers dialed in, or they all died.
+	ErrNoProgress = errors.New("dist: no progress before the delegate deadline")
+)
+
+// DelegateOptions configures NewDelegate.
+type DelegateOptions struct {
+	// Parts/LeaseTTL/StallFactor configure each sweep's coordinator;
+	// zero values take the coordinator defaults.
+	Parts       int
+	LeaseTTL    time.Duration
+	StallFactor float64
+	// Deadline is the no-progress watchdog: a delegated sweep whose
+	// merged-job count does not advance for this long is abandoned
+	// (ErrNoProgress) and the serving layer falls back to local
+	// execution from the same checkpoint. <= 0 defaults to 2m.
+	Deadline time.Duration
+	// FS routes ledger I/O; nil selects the real filesystem.
+	FS fault.FS
+	// Obs, when non-nil, collects coordinator and delegate counters.
+	Obs *obs.Registry
+	// Logf, when non-nil, receives delegate and coordinator lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Delegate implements api.SweepDelegate over an in-process coordinator:
+// gmap-served offers each admitted sweep job to the distributed worker
+// fleet, and the job's own checkpoint doubles as the merge ledger —
+// which is exactly what makes degraded-mode seamless, because the local
+// fallback resumes from whatever the fleet managed to merge.
+//
+// One sweep coordinates at a time (sweeps saturate the fleet; queueing
+// a second behind the first beats interleaving them), and the
+// worker-facing HTTP surface routes to whichever coordinator is live.
+type Delegate struct {
+	o DelegateOptions
+
+	mu  sync.Mutex
+	cur *Coordinator // live sweep's coordinator, nil when idle
+}
+
+// NewDelegate builds a Delegate.
+func NewDelegate(o DelegateOptions) *Delegate {
+	if o.Deadline <= 0 {
+		o.Deadline = 2 * time.Minute
+	}
+	return &Delegate{o: o}
+}
+
+func (d *Delegate) logf(format string, args ...interface{}) {
+	if d.o.Logf != nil {
+		d.o.Logf(format, args...)
+	}
+}
+
+// RunSweep coordinates spec across the worker fleet, merging into
+// ledger, and returns the rendered report. It fails — leaving the
+// ledger's merged points for the caller's local fallback — when a sweep
+// is already being coordinated (ErrBusy), when no progress lands within
+// the deadline (ErrNoProgress), or when ctx is cancelled.
+func (d *Delegate) RunSweep(ctx context.Context, spec api.JobSpec, ledger string) (string, error) {
+	c, err := NewCoordinator(CoordinatorOptions{
+		Spec:        spec,
+		Parts:       d.o.Parts,
+		LeaseTTL:    d.o.LeaseTTL,
+		StallFactor: d.o.StallFactor,
+		Ledger:      ledger,
+		FS:          d.o.FS,
+		Obs:         d.o.Obs,
+		Logf:        d.o.Logf,
+	})
+	if err != nil {
+		return "", err
+	}
+
+	d.mu.Lock()
+	if d.cur != nil {
+		d.mu.Unlock()
+		_ = c.Close()
+		d.o.Obs.Counter("dist.delegate_busy").Inc()
+		return "", ErrBusy
+	}
+	d.cur = c
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.cur = nil
+		d.mu.Unlock()
+		_ = c.Close()
+	}()
+
+	d.logf("dist: delegate: coordinating %s over %s (epoch %d)", spec.Experiment, ledger, c.Epoch())
+	d.o.Obs.Counter("dist.delegate_sweeps").Inc()
+
+	// The watchdog compares merged-job counts, not worker liveness: a
+	// fleet that is merging anything at all is worth waiting for, and
+	// one that merges nothing for a whole deadline is indistinguishable
+	// from absent.
+	interval := d.o.Deadline / 10
+	if interval <= 0 || interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	lastDone := c.StatusSnapshot().DoneJobs
+	stalledSince := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-c.Done():
+			if err := c.Close(); err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			if err := c.WriteReport(&buf); err != nil {
+				return "", err
+			}
+			d.logf("dist: delegate: %s complete", spec.Experiment)
+			return buf.String(), nil
+		case <-tick.C:
+			done := c.StatusSnapshot().DoneJobs
+			if done != lastDone {
+				lastDone = done
+				stalledSince = time.Now()
+				continue
+			}
+			if time.Since(stalledSince) >= d.o.Deadline {
+				d.o.Obs.Counter("dist.delegate_stalls").Inc()
+				return "", fmt.Errorf("%w: %d/%d jobs merged into %s",
+					ErrNoProgress, done, c.StatusSnapshot().TotalJobs, ledger)
+			}
+		}
+	}
+}
+
+// Handler routes worker traffic to the live sweep's coordinator. With
+// no sweep coordinating, every endpoint answers 503 with code
+// "unavailable" — which workers classify as retryable, so a fleet
+// dialed in before the next sweep arrives simply waits.
+func (d *Delegate) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		c := d.cur
+		d.mu.Unlock()
+		if c == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error": "no sweep is being coordinated",
+				"code":  "unavailable",
+			})
+			return
+		}
+		c.Handler().ServeHTTP(w, r)
+	})
+}

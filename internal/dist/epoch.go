@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+
+	"github.com/uteda/gmap/internal/fault"
+)
+
+// Epoch fencing (DESIGN.md §14). Every coordinator incarnation over a
+// ledger claims a monotonically increasing epoch, persisted in a tiny
+// sidecar file next to the ledger. Leases, heartbeats and result
+// batches all carry the epoch they were granted under, and every
+// mutating operation re-reads the sidecar before touching the ledger:
+// a coordinator that discovers a higher persisted epoch has been
+// superseded by a standby takeover and permanently fences itself, so a
+// deposed coordinator can never append to a ledger someone else now
+// owns — the split-brain guard that makes takeover safe without any
+// coordination channel beyond the shared filesystem.
+
+// ErrStaleEpoch reports traffic fenced to an older coordinator epoch:
+// either the request carried an epoch that is no longer current, or the
+// coordinator itself discovered it has been deposed. Workers treat it
+// exactly like a lost lease — abandon the shard and re-lease (the new
+// coordinator re-issues the remaining keys) — and over HTTP it maps to
+// 409 Conflict, because retrying the same request verbatim can never
+// succeed.
+var ErrStaleEpoch = errors.New("dist: stale coordinator epoch")
+
+// EpochPath is the sidecar file recording the current coordinator epoch
+// for the ledger.
+func EpochPath(ledger string) string { return ledger + ".epoch" }
+
+// JournalPath is the lease journal that rides alongside the ledger: one
+// best-effort JSONL line per lease-state transition, keyed by lease id.
+// Standbys tail it to distinguish "coordinator dead" from "coordinator
+// busy", and operators read it to reconstruct who held what when.
+func JournalPath(ledger string) string { return ledger + ".leases" }
+
+// epochRecord is the sidecar file's JSON payload.
+type epochRecord struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// ReadEpoch returns the persisted coordinator epoch for ledger; a
+// missing sidecar is epoch 0 (no coordinator has ever claimed it).
+func ReadEpoch(fsys fault.FS, ledger string) (uint64, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	f, err := fsys.Open(EpochPath(ledger))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("dist: reading epoch file: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, 1<<10))
+	if err != nil {
+		return 0, fmt.Errorf("dist: reading epoch file: %w", err)
+	}
+	var rec epochRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return 0, fmt.Errorf("dist: epoch file %s is corrupt: %w", EpochPath(ledger), err)
+	}
+	return rec.Epoch, nil
+}
+
+// writeEpoch persists epoch atomically: temp file, fsync, rename. A
+// crash at any byte leaves either the old record or the new one, never
+// a torn mix, so ReadEpoch can always answer.
+func writeEpoch(fsys fault.FS, ledger string, epoch uint64) error {
+	path := EpochPath(ledger)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dist: writing epoch file: %w", err)
+	}
+	data, err := json.Marshal(epochRecord{Epoch: epoch})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: writing epoch file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: syncing epoch file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: closing epoch file: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: installing epoch file: %w", err)
+	}
+	return nil
+}
+
+// WriteAddrFile atomically publishes a coordinator address (host:port)
+// to path: temp file then rename, so a worker re-reading the file mid-
+// rewrite sees either the old address or the new one, never a torn
+// prefix. The standby rewrites this file on takeover; workers re-read
+// it before every retry.
+func WriteAddrFile(fsys fault.FS, path, addr string) error {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dist: writing addr file: %w", err)
+	}
+	if _, err := f.Write([]byte(addr + "\n")); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: writing addr file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: syncing addr file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: closing addr file: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("dist: installing addr file: %w", err)
+	}
+	return nil
+}

@@ -17,13 +17,15 @@ import (
 // (codec.go) so checkpoint payload bytes pass through untouched.
 
 // leaseRequest / leaseOpRequest are the JSON bodies of the control
-// endpoints.
+// endpoints. Epoch on lease operations is the fencing epoch the lease
+// was granted under.
 type leaseRequest struct {
 	Worker string `json:"worker"`
 }
 
 type leaseOpRequest struct {
 	Lease string `json:"lease"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // resultsResponse reports what a results POST merged.
@@ -37,6 +39,15 @@ type completeResponse struct {
 	Status string `json:"status"`
 }
 
+// Machine-readable error codes carried beside the human message, so
+// clients map wire errors back onto sentinels without string-matching.
+const (
+	codeGone       = "gone"
+	codeStaleEpoch = "stale_epoch"
+	codeDivergent  = "divergent"
+	codeForeign    = "foreign"
+)
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -45,18 +56,39 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if c := codeOf(err); c != "" {
+		body["code"] = c
+	}
+	writeJSON(w, code, body)
+}
+
+// codeOf maps protocol sentinels to their wire codes.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		return codeGone
+	case errors.Is(err, ErrStaleEpoch):
+		return codeStaleEpoch
+	case errors.Is(err, ErrDivergent):
+		return codeDivergent
+	case errors.Is(err, ErrForeignKey):
+		return codeForeign
+	default:
+		return ""
+	}
 }
 
 // statusOf maps protocol errors onto HTTP statuses: a gone lease is 410
-// (the worker must re-lease), a divergent or foreign result is 409 (the
-// submission conflicts with merged state and retrying it verbatim can
-// never succeed), anything else is a 500 infrastructure failure.
+// (the worker must re-lease), a stale epoch, divergent or foreign
+// result is 409 (the submission conflicts with coordinator state and
+// retrying it verbatim can never succeed), anything else is a 500
+// infrastructure failure.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrLeaseGone):
 		return http.StatusGone
-	case errors.Is(err, ErrDivergent), errors.Is(err, ErrForeignKey):
+	case errors.Is(err, ErrStaleEpoch), errors.Is(err, ErrDivergent), errors.Is(err, ErrForeignKey):
 		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
@@ -75,7 +107,12 @@ func (c *Coordinator) Handler() http.Handler {
 		if req.Worker == "" {
 			req.Worker = r.RemoteAddr
 		}
-		writeJSON(w, http.StatusOK, c.Lease(req.Worker))
+		g, err := c.Lease(req.Worker)
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, g)
 	})
 	mux.HandleFunc("POST /dist/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req leaseOpRequest
@@ -83,7 +120,7 @@ func (c *Coordinator) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode heartbeat: %w", err))
 			return
 		}
-		if err := c.Heartbeat(req.Lease); err != nil {
+		if err := c.Heartbeat(req.Lease, req.Epoch); err != nil {
 			writeErr(w, statusOf(err), err)
 			return
 		}
@@ -100,7 +137,7 @@ func (c *Coordinator) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		accepted, dups, err := c.Results(batch.Lease, batch.Entries)
+		accepted, dups, err := c.Results(batch.Lease, batch.Epoch, batch.Entries)
 		if err != nil {
 			writeErr(w, statusOf(err), err)
 			return
@@ -113,7 +150,12 @@ func (c *Coordinator) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode complete: %w", err))
 			return
 		}
-		writeJSON(w, http.StatusOK, completeResponse{Status: c.Complete(req.Lease)})
+		status, err := c.Complete(req.Lease, req.Epoch)
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, completeResponse{Status: status})
 	})
 	mux.HandleFunc("GET /dist/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.StatusSnapshot())

@@ -68,6 +68,18 @@ func syntheticCoordinator(t *testing.T, nkeys int, o CoordinatorOptions) (*Coord
 	return c, keys, clk
 }
 
+// mustLease adapts the epoch-fenced Lease for single-incarnation
+// tests, where the only error path is a fencing failure (covered
+// explicitly by the failover suite).
+func mustLease(t *testing.T, c *Coordinator, w string) LeaseGrant {
+	t.Helper()
+	g, err := c.Lease(w)
+	if err != nil {
+		t.Fatalf("lease for %s: %v", w, err)
+	}
+	return g
+}
+
 // payloadFor derives the deterministic result payload of a synthetic
 // job, mirroring the determinism contract of real simulation points.
 func payloadFor(key string) json.RawMessage {
@@ -144,16 +156,16 @@ func TestLeaseInvariantsProperty(t *testing.T) {
 			for s := 0; s < steps; s++ {
 				switch g.R.Intn(10) {
 				case 0, 1: // request a lease
-					lg := c.Lease(fmt.Sprintf("w%d", g.R.Intn(4)))
+					lg := mustLease(t, c, fmt.Sprintf("w%d", g.R.Intn(4)))
 					if lg.Status == GrantLease {
 						grants = append(grants, grant{id: lg.Lease, keys: lg.Keys})
 					}
 				case 2: // heartbeat a random (possibly stale) grant
 					if len(grants) > 0 {
-						_ = c.Heartbeat(grants[g.R.Intn(len(grants))].id)
+						_ = c.Heartbeat(grants[g.R.Intn(len(grants))].id, c.Epoch())
 					}
 				case 3: // heartbeat a lease that never existed
-					if err := c.Heartbeat("lease-bogus"); err == nil {
+					if err := c.Heartbeat("lease-bogus", c.Epoch()); err == nil {
 						t.Fatal("bogus lease heartbeat accepted")
 					}
 				case 4, 5, 6: // deliver results for a random grant subset
@@ -165,13 +177,13 @@ func TestLeaseInvariantsProperty(t *testing.T) {
 								entries = append(entries, Entry{Key: k, Value: payloadFor(k), ElapsedNS: int64(1e6 + g.R.Intn(1e6))})
 							}
 						}
-						if _, _, err := c.Results(gr.id, entries); err != nil {
+						if _, _, err := c.Results(gr.id, c.Epoch(), entries); err != nil {
 							t.Fatalf("results rejected: %v", err)
 						}
 					}
 				case 7: // complete a random grant (idempotent, any state)
 					if len(grants) > 0 {
-						c.Complete(grants[g.R.Intn(len(grants))].id)
+						c.Complete(grants[g.R.Intn(len(grants))].id, c.Epoch())
 					}
 				case 8: // time passes, possibly past the TTL
 					clk.advance(time.Duration(g.R.Intn(int(ttl * 2))))
@@ -186,7 +198,7 @@ func TestLeaseInvariantsProperty(t *testing.T) {
 
 			// Drain: lease and immediately fulfill until done.
 			for i := 0; i < 10000; i++ {
-				lg := c.Lease("drain")
+				lg := mustLease(t, c, "drain")
 				if lg.Status == GrantDone {
 					break
 				}
@@ -198,11 +210,11 @@ func TestLeaseInvariantsProperty(t *testing.T) {
 				for _, k := range lg.Keys {
 					entries = append(entries, Entry{Key: k, Value: payloadFor(k), ElapsedNS: 1e6})
 				}
-				if _, _, err := c.Results(lg.Lease, entries); err != nil {
+				if _, _, err := c.Results(lg.Lease, lg.Epoch, entries); err != nil {
 					t.Fatal(err)
 				}
-				if got := c.Complete(lg.Lease); got != "superseded" && got != "ok" {
-					t.Fatalf("drain complete = %q", got)
+				if got, err := c.Complete(lg.Lease, lg.Epoch); err != nil || (got != "superseded" && got != "ok") {
+					t.Fatalf("drain complete = %q (%v)", got, err)
 				}
 				checkInvariants(t, c)
 			}
@@ -248,7 +260,7 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 		StallFactor: 4,
 	})
 
-	a := c.Lease("A")
+	a := mustLease(t, c, "A")
 	if a.Status != GrantLease || len(a.Keys) != len(keys) {
 		t.Fatalf("grant A = %+v", a)
 	}
@@ -258,13 +270,13 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	for _, k := range half {
 		entries = append(entries, Entry{Key: k, Value: payloadFor(k), ElapsedNS: int64(time.Millisecond)})
 	}
-	if _, _, err := c.Results(a.Lease, entries); err != nil {
+	if _, _, err := c.Results(a.Lease, a.Epoch, entries); err != nil {
 		t.Fatal(err)
 	}
 
 	// B asks while A is healthy: every part is leased, so B waits; the
 	// steal threshold (max(TTL, 4×1ms) = TTL) hasn't passed.
-	if lg := c.Lease("B"); lg.Status != GrantWait {
+	if lg := mustLease(t, c, "B"); lg.Status != GrantWait {
 		t.Fatalf("B granted %+v while A healthy", lg)
 	}
 
@@ -272,12 +284,12 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	// on the results channel, B's next request steals the part.
 	for i := 0; i < 4; i++ {
 		clk.advance(ttl / 2)
-		if err := c.Heartbeat(a.Lease); err != nil {
+		if err := c.Heartbeat(a.Lease, a.Epoch); err != nil {
 			t.Fatalf("A heartbeat while healthy: %v", err)
 		}
 		checkInvariants(t, c)
 	}
-	b := c.Lease("B")
+	b := mustLease(t, c, "B")
 	if b.Status != GrantLease {
 		t.Fatalf("B not granted after stall: %+v", b)
 	}
@@ -288,7 +300,7 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	if st.Stolen != 1 {
 		t.Fatalf("stolen = %d, want 1", st.Stolen)
 	}
-	if err := c.Heartbeat(a.Lease); err == nil {
+	if err := c.Heartbeat(a.Lease, a.Epoch); err == nil {
 		t.Fatal("A's stolen lease still heartbeats")
 	}
 	checkInvariants(t, c)
@@ -300,15 +312,15 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	for _, k := range a.Keys {
 		all = append(all, Entry{Key: k, Value: payloadFor(k), ElapsedNS: int64(time.Millisecond)})
 	}
-	acc, dup, err := c.Results(a.Lease, all)
+	acc, dup, err := c.Results(a.Lease, a.Epoch, all)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dup != len(half) || acc != len(keys)-len(half) {
 		t.Fatalf("late delivery: accepted %d dup %d, want %d/%d", acc, dup, len(keys)-len(half), len(half))
 	}
-	if got := c.Complete(a.Lease); got != "superseded" {
-		t.Fatalf("A complete = %q, want superseded", got)
+	if got, err := c.Complete(a.Lease, a.Epoch); err != nil || got != "superseded" {
+		t.Fatalf("A complete = %q (%v), want superseded", got, err)
 	}
 
 	// The part completed under B's lease the moment A's late results
@@ -318,15 +330,15 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	default:
 		t.Fatal("sweep not done after late completion")
 	}
-	if got := c.Complete(b.Lease); got != "superseded" && got != "ok" {
-		t.Fatalf("B complete = %q", got)
+	if got, err := c.Complete(b.Lease, b.Epoch); err != nil || (got != "superseded" && got != "ok") {
+		t.Fatalf("B complete = %q (%v)", got, err)
 	}
 	// B re-delivering its (now duplicate) remainder is still harmless.
 	var bs []Entry
 	for _, k := range b.Keys {
 		bs = append(bs, Entry{Key: k, Value: payloadFor(k), ElapsedNS: int64(time.Millisecond)})
 	}
-	if acc, dup, err := c.Results(b.Lease, bs); err != nil || acc != 0 || dup != len(bs) {
+	if acc, dup, err := c.Results(b.Lease, b.Epoch, bs); err != nil || acc != 0 || dup != len(bs) {
 		t.Fatalf("B redelivery: acc %d dup %d err %v", acc, dup, err)
 	}
 	checkInvariants(t, c)
@@ -341,7 +353,7 @@ func TestStealThenCompleteIdempotence(t *testing.T) {
 	if sv.Entries != len(keys) || sv.Lines != len(keys) {
 		t.Fatalf("ledger %d entries / %d lines, want %d/%d", sv.Entries, sv.Lines, len(keys), len(keys))
 	}
-	if c.Lease("C").Status != GrantDone {
+	if mustLease(t, c, "C").Status != GrantDone {
 		t.Error("post-completion lease not answered done")
 	}
 }

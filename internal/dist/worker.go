@@ -10,15 +10,27 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/runner"
 )
 
 // WorkerOptions configures RunWorker.
 type WorkerOptions struct {
 	// Coordinator is the coordinator's base URL ("http://host:port").
 	Coordinator string
+	// Endpoints are additional coordinator URLs to fail over to when the
+	// current one becomes unreachable (a standby's listen address).
+	Endpoints []string
+	// AddrFile, when non-empty, names a file holding the coordinator's
+	// current address (host:port or URL). It is re-read before every
+	// retry, so a standby that takes over and rewrites the file
+	// redirects the worker without any restart. The file's address is
+	// always preferred over Coordinator/Endpoints.
+	AddrFile string
 	// Name identifies this worker in lease attribution and logs; empty
 	// derives "host:pid".
 	Name string
@@ -35,26 +47,58 @@ type WorkerOptions struct {
 	// streams every completed job immediately, which is what keeps the
 	// coordinator's straggler timings live.
 	BatchSize int
+	// Retries bounds how many times an unavailable-coordinator failure
+	// (fault.IsUnavailable) is retried with jittered backoff while
+	// rotating through the resolved endpoints; <= 0 defaults to 8. This
+	// is the failover budget: it must cover the standby's detection
+	// quorum plus takeover.
+	Retries int
+	// RetryBackoff is the base backoff before a retry, doubled per
+	// attempt with deterministic jitter (runner.RetryDelay); <= 0
+	// defaults to 250ms.
+	RetryBackoff time.Duration
 	// HTTPClient overrides the transport (tests); nil uses a default.
 	HTTPClient *http.Client
-	// Obs, when non-nil, collects the local execution instrumentation.
+	// Obs, when non-nil, collects the local execution instrumentation
+	// plus the retry counters (dist.lease_retries,
+	// dist.heartbeat_retries, dist.delivery_retries).
 	Obs *obs.Registry
 	// Logf, when non-nil, receives worker progress lines.
 	Logf func(format string, args ...interface{})
 }
 
-// client wraps the coordinator's HTTP surface.
+// client wraps the coordinator's HTTP surface. base is swapped by the
+// worker's endpoint rotation on failover.
 type client struct {
+	mu   sync.Mutex
 	base string
 	hc   *http.Client
 }
 
+func (c *client) baseURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
+func (c *client) setBase(b string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.base = b
+}
+
 // apiErr lifts an HTTP error body back into the protocol's sentinel
-// errors so worker logic can errors.Is on them across the wire.
+// errors so worker logic can errors.Is on them across the wire. The
+// body's machine-readable "code" field is authoritative; the message
+// string is a fallback for older coordinators. 5xx responses are
+// marked transient: the request itself is sound and the merge is
+// idempotent, so retrying against a recovered (or successor)
+// coordinator can succeed.
 func (c *client) apiErr(status int, body []byte) error {
 	msg := strings.TrimSpace(string(body))
 	var e struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		msg = e.Error
@@ -63,17 +107,33 @@ func (c *client) apiErr(status int, body []byte) error {
 	case http.StatusGone:
 		return fmt.Errorf("%w: %s", ErrLeaseGone, msg)
 	case http.StatusConflict:
-		if strings.Contains(msg, "divergent") {
+		switch e.Code {
+		case codeStaleEpoch:
+			return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
+		case codeDivergent:
 			return fmt.Errorf("%w: %s", ErrDivergent, msg)
+		case codeForeign:
+			return fmt.Errorf("%w: %s", ErrForeignKey, msg)
 		}
-		return fmt.Errorf("%w: %s", ErrForeignKey, msg)
+		switch {
+		case strings.Contains(msg, "epoch"):
+			return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
+		case strings.Contains(msg, "divergent"):
+			return fmt.Errorf("%w: %s", ErrDivergent, msg)
+		default:
+			return fmt.Errorf("%w: %s", ErrForeignKey, msg)
+		}
 	default:
-		return fmt.Errorf("dist: coordinator returned %d: %s", status, msg)
+		err := fmt.Errorf("dist: coordinator returned %d: %s", status, msg)
+		if status >= 500 {
+			return fault.Transient(err)
+		}
+		return err
 	}
 }
 
 func (c *client) post(ctx context.Context, path, contentType string, body []byte, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -113,8 +173,8 @@ func (c *client) lease(ctx context.Context, worker string) (LeaseGrant, error) {
 	return g, err
 }
 
-func (c *client) heartbeat(ctx context.Context, lease string) error {
-	return c.postJSON(ctx, "/dist/v1/heartbeat", leaseOpRequest{Lease: lease}, nil)
+func (c *client) heartbeat(ctx context.Context, lease string, epoch uint64) error {
+	return c.postJSON(ctx, "/dist/v1/heartbeat", leaseOpRequest{Lease: lease, Epoch: epoch}, nil)
 }
 
 func (c *client) results(ctx context.Context, b *Batch) (resultsResponse, error) {
@@ -127,23 +187,133 @@ func (c *client) results(ctx context.Context, b *Batch) (resultsResponse, error)
 	return resp, err
 }
 
-func (c *client) complete(ctx context.Context, lease string) (string, error) {
+func (c *client) complete(ctx context.Context, lease string, epoch uint64) (string, error) {
 	var resp completeResponse
-	if err := c.postJSON(ctx, "/dist/v1/complete", leaseOpRequest{Lease: lease}, &resp); err != nil {
+	if err := c.postJSON(ctx, "/dist/v1/complete", leaseOpRequest{Lease: lease, Epoch: epoch}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Status, nil
 }
 
-// RunWorker joins the coordinator at o.Coordinator and processes leases
-// until the sweep is done (returns nil), ctx is cancelled, or an
-// unrecoverable error occurs (coordinator unreachable, simulation
-// failure, divergence rejection). Losing a lease — expiry or steal —
-// is not an error: the shard is abandoned mid-run and the loop asks for
+// worker bundles one RunWorker invocation's state: options, the HTTP
+// client and the endpoint-rotation/retry machinery.
+type worker struct {
+	o    WorkerOptions
+	cl   *client
+	logf func(string, ...interface{})
+}
+
+// normalizeEndpoint turns "host:port" or a URL into a base URL.
+func normalizeEndpoint(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// endpoints resolves the candidate coordinator URLs, preferred first:
+// the addr file's current content (re-read on every call — the standby
+// rewrites it on takeover), then the static Coordinator URL and the
+// Endpoints list, deduplicated.
+func (w *worker) endpoints() []string {
+	var list []string
+	seen := make(map[string]bool)
+	add := func(s string) {
+		if e := normalizeEndpoint(s); e != "" && !seen[e] {
+			seen[e] = true
+			list = append(list, e)
+		}
+	}
+	if w.o.AddrFile != "" {
+		if data, err := os.ReadFile(w.o.AddrFile); err == nil {
+			add(string(data))
+		}
+	}
+	add(w.o.Coordinator)
+	for _, e := range w.o.Endpoints {
+		add(e)
+	}
+	return list
+}
+
+// rotate re-resolves the endpoint list and moves to the next candidate
+// after the current one. With a rewritten addr file the "next"
+// candidate is the new head — the takeover coordinator.
+func (w *worker) rotate() {
+	list := w.endpoints()
+	if len(list) == 0 {
+		return
+	}
+	cur := w.cl.baseURL()
+	next := list[0]
+	for i, e := range list {
+		if e == cur {
+			next = list[(i+1)%len(list)]
+			break
+		}
+	}
+	if next != cur {
+		w.o.Obs.Counter("dist.endpoint_rotations").Inc()
+		w.logf("dist: worker %s: switching coordinator %s -> %s", w.o.Name, cur, next)
+		w.cl.setBase(next)
+	}
+}
+
+// retryable reports whether a coordinator-operation failure is worth
+// retrying against a (possibly different) endpoint: unavailability,
+// yes; protocol rejections (gone lease, stale epoch, divergence), no —
+// those need a different request, not a different try.
+func retryable(err error) bool {
+	if errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrStaleEpoch) ||
+		errors.Is(err, ErrDivergent) || errors.Is(err, ErrForeignKey) {
+		return false
+	}
+	return fault.IsUnavailable(err)
+}
+
+// withRetry runs op, retrying unavailable-coordinator failures up to
+// o.Retries times with the runner's deterministic jittered backoff,
+// rotating endpoints between attempts. key seeds the jitter so
+// concurrent workers spread out. Deliveries retried through here may
+// double-send a batch whose response was lost mid-flight; the
+// coordinator's idempotent merge counts those as duplicates.
+func (w *worker) withRetry(ctx context.Context, key, counter string, op func() error) error {
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if attempt > w.o.Retries {
+			return err
+		}
+		w.o.Obs.Counter(counter).Inc()
+		w.logf("dist: worker %s: %s (retry %d/%d)", w.o.Name, err, attempt, w.o.Retries)
+		w.rotate()
+		d := runner.RetryDelay(w.o.RetryBackoff, key, attempt)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// RunWorker joins the coordinator and processes leases until the sweep
+// is done (returns nil), ctx is cancelled, or an unrecoverable error
+// occurs (coordinator unreachable past the retry budget, simulation
+// failure, divergence rejection). Losing a lease — expiry, steal, or a
+// coordinator takeover bumping the epoch — is not an error: the shard
+// is abandoned mid-run and the loop asks the current coordinator for
 // the next lease.
 func RunWorker(ctx context.Context, o WorkerOptions) error {
-	if o.Coordinator == "" {
-		return errors.New("dist: worker requires a coordinator URL")
+	if o.Coordinator == "" && len(o.Endpoints) == 0 && o.AddrFile == "" {
+		return errors.New("dist: worker requires a coordinator URL, endpoint list, or addr file")
 	}
 	if o.Name == "" {
 		host, _ := os.Hostname()
@@ -158,22 +328,44 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	if o.BatchSize < 1 {
 		o.BatchSize = 1
 	}
+	if o.Retries <= 0 {
+		o.Retries = 8
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 250 * time.Millisecond
+	}
 	hc := o.HTTPClient
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
-	cl := &client{base: strings.TrimRight(o.Coordinator, "/"), hc: hc}
 	logf := o.Logf
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
+	w := &worker{o: o, cl: &client{hc: hc}, logf: logf}
+	eps := w.endpoints()
+	if len(eps) == 0 {
+		return errors.New("dist: no coordinator endpoint resolvable (addr file missing?)")
+	}
+	w.cl.setBase(eps[0])
 
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		g, err := cl.lease(ctx, o.Name)
+		var g LeaseGrant
+		err := w.withRetry(ctx, "lease", "dist.lease_retries", func() error {
+			var lerr error
+			g, lerr = w.cl.lease(ctx, o.Name)
+			return lerr
+		})
 		if err != nil {
+			if errors.Is(err, ErrStaleEpoch) {
+				// A deposed coordinator answered; its successor owns the
+				// sweep now. Rotate and ask again.
+				w.rotate()
+				continue
+			}
 			return err
 		}
 		switch g.Status {
@@ -191,8 +383,8 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 				return ctx.Err()
 			}
 		case GrantLease:
-			logf("dist: worker %s: leased part %d/%d (%d keys)", o.Name, g.Part, g.Parts, len(g.Keys))
-			if err := runLease(ctx, cl, o, g, logf); err != nil {
+			logf("dist: worker %s: leased part %d/%d epoch %d (%d keys)", o.Name, g.Part, g.Parts, g.Epoch, len(g.Keys))
+			if err := w.runLease(ctx, g); err != nil {
 				return err
 			}
 		default:
@@ -204,8 +396,12 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 // runLease executes one granted shard: the sweep's own eval pipeline
 // restricted (Shard) to the granted keys, streaming every completed
 // point back as a checkpoint event (ResultSink), under a heartbeat
-// goroutine that cancels the run the moment the lease is lost.
-func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, logf func(string, ...interface{})) error {
+// goroutine that cancels the run the moment the lease is lost. A lost
+// lease — revoked, stolen, or fenced behind a takeover's new epoch —
+// abandons the shard without error; the remaining keys re-lease.
+func (w *worker) runLease(ctx context.Context, g LeaseGrant) error {
+	o := w.o
+	logf := w.logf
 	mine := make(map[string]bool, len(g.Keys))
 	for _, k := range g.Keys {
 		mine[k] = true
@@ -214,10 +410,24 @@ func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, lo
 	shardCtx, cancelShard := context.WithCancel(ctx)
 	defer cancelShard()
 
-	// The heartbeat loop renews the lease at a third of its TTL and
-	// cancels the shard when the coordinator says the lease is gone —
-	// a stolen straggler stops burning CPU on work someone else owns.
+	// abandon marks the lease lost (idempotently) and stops the shard.
+	var lostOnce sync.Once
 	lost := make(chan struct{})
+	abandon := func(why error) {
+		lostOnce.Do(func() {
+			logf("dist: worker %s: lease %s lost: %v", o.Name, g.Lease, why)
+			close(lost)
+			cancelShard()
+		})
+	}
+
+	// The heartbeat loop renews the lease at a third of its TTL and
+	// abandons the shard when the coordinator says the lease is gone or
+	// fenced — a stolen straggler stops burning CPU on work someone else
+	// owns, and a worker fenced behind a takeover re-leases under the
+	// new epoch. A dropped heartbeat (coordinator restarting, transient
+	// network fault) is retried with bounded jittered backoff rather
+	// than taken as a verdict: only the coordinator decides lease death.
 	hbDone := make(chan struct{})
 	ttl := time.Duration(g.TTLNS)
 	if ttl <= 0 {
@@ -232,15 +442,18 @@ func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, lo
 			case <-shardCtx.Done():
 				return
 			case <-tick.C:
-				if err := cl.heartbeat(shardCtx, g.Lease); err != nil {
-					if errors.Is(err, ErrLeaseGone) {
-						logf("dist: worker %s: lease %s lost: %v", o.Name, g.Lease, err)
-						close(lost)
-						cancelShard()
-						return
-					}
-					// Transport trouble: keep the run going; the TTL is
-					// the coordinator's call, not ours.
+				err := w.withRetry(shardCtx, g.Lease, "dist.heartbeat_retries", func() error {
+					return w.cl.heartbeat(shardCtx, g.Lease, g.Epoch)
+				})
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrLeaseGone), errors.Is(err, ErrStaleEpoch):
+					abandon(err)
+					return
+				default:
+					// Still unreachable after the retry budget: keep the
+					// run going; lease death is the coordinator's call, not
+					// ours, and the next tick retries afresh.
 					logf("dist: worker %s: heartbeat: %v", o.Name, err)
 				}
 			}
@@ -254,9 +467,22 @@ func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, lo
 		}
 		// Deliveries ride ctx, not shardCtx: results computed before a
 		// lease loss are still worth delivering (late results merge).
-		_, err := cl.results(ctx, &Batch{Lease: g.Lease, Entries: pending})
+		err := w.withRetry(ctx, g.Lease, "dist.delivery_retries", func() error {
+			_, rerr := w.cl.results(ctx, &Batch{Lease: g.Lease, Epoch: g.Epoch, Entries: pending})
+			return rerr
+		})
 		if err == nil {
 			pending = pending[:0]
+			return nil
+		}
+		if errors.Is(err, ErrStaleEpoch) || errors.Is(err, ErrLeaseGone) {
+			// The batch was rejected whole by a fence (or the part was
+			// re-leased). Drop it and abandon: the new coordinator
+			// re-issues every key it has no result for, and re-execution
+			// reproduces identical payloads.
+			pending = pending[:0]
+			abandon(err)
+			return nil
 		}
 		return err
 	}
@@ -294,21 +520,28 @@ func runLease(ctx context.Context, cl *client, o WorkerOptions, g LeaseGrant, lo
 	<-hbDone
 
 	// Deliver whatever completed, even after an abandoned shard; the
-	// coordinator accepts late results idempotently.
-	if ferr := flush(); ferr != nil && runErr == nil && !leaseLost {
+	// coordinator accepts late results idempotently. flush itself may
+	// conclude the lease is lost (fence rejection) — re-check after.
+	ferr := flush()
+	select {
+	case <-lost:
+		leaseLost = true
+	default:
+	}
+	if ferr != nil && runErr == nil && !leaseLost {
 		return ferr
 	}
 
 	switch {
 	case leaseLost:
-		// Not an error: someone else owns the part now.
+		// Not an error: someone else owns the part (or the epoch) now.
 		return nil
 	case runErr != nil && ctx.Err() != nil:
 		return ctx.Err()
 	case runErr != nil:
 		return fmt.Errorf("dist: worker %s lease %s: %w", o.Name, g.Lease, runErr)
 	}
-	status, err := cl.complete(ctx, g.Lease)
+	status, err := w.cl.complete(ctx, g.Lease, g.Epoch)
 	if err != nil {
 		// Completion is advisory — the coordinator marks a part done from
 		// the results themselves — so a lost acknowledgment (say, the

@@ -21,6 +21,8 @@ package fault
 
 import (
 	"errors"
+	"io"
+	"net"
 	"syscall"
 )
 
@@ -64,6 +66,37 @@ func IsTransient(err error) bool {
 		}
 	}
 	return false
+}
+
+// IsUnavailable reports whether err looks like a peer that is down or
+// restarting rather than a request it rejected: anything IsTransient
+// accepts, plus the connection-level failures a crashed service
+// produces — connection refused/aborted, unreachable host or network,
+// a broken pipe, a response torn mid-body (unexpected EOF), or any
+// net.Error (dial failures and I/O timeouts). Distributed clients key
+// failover retry on this: an unavailable coordinator is worth retrying
+// against a (possibly new) endpoint with backoff, while a 4xx-style
+// protocol rejection is not — the same request can never succeed.
+func IsUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsTransient(err) {
+		return true
+	}
+	for _, e := range []error{
+		syscall.ECONNREFUSED, syscall.ECONNABORTED, syscall.EPIPE,
+		syscall.EHOSTUNREACH, syscall.ENETUNREACH, syscall.ENETDOWN,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // Injected fault sentinels. ErrInjectedENOSPC and ErrInjectedEIO wrap the

@@ -380,7 +380,7 @@ func executeWithRetry[R any](ctx context.Context, opts Options, job Job[R], jobS
 		if res.Err == nil || attempt > opts.Retries || !fault.IsTransient(res.Err) || ctx.Err() != nil {
 			return res
 		}
-		if d := retryDelay(opts.RetryBackoff, job.Key, attempt); d > 0 {
+		if d := RetryDelay(opts.RetryBackoff, job.Key, attempt); d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-t.C:
@@ -392,11 +392,13 @@ func executeWithRetry[R any](ctx context.Context, opts Options, job Job[R], jobS
 	}
 }
 
-// retryDelay computes the backoff before the retry that follows a failed
+// RetryDelay computes the backoff before the retry that follows a failed
 // attempt: base doubled per prior attempt (capped), plus a deterministic
 // per-(key, attempt) jitter of up to base/2 so synchronized workers
 // hitting a shared contended resource spread out identically on replay.
-func retryDelay(base time.Duration, key string, attempt int) time.Duration {
+// Exported for the distributed layer, whose workers reuse the exact
+// same policy when the coordinator drops out mid-sweep.
+func RetryDelay(base time.Duration, key string, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}

@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"time"
+
+	"github.com/uteda/gmap/internal/fault"
+)
+
+// TailEntry is one checkpoint line observed by a CheckpointTail.
+type TailEntry struct {
+	Key     string
+	Value   json.RawMessage
+	Elapsed time.Duration
+}
+
+// A CheckpointTail incrementally follows a growing checkpoint (or lease
+// journal) file: each Poll returns the entries whose lines completed
+// since the previous Poll. It is the standby coordinator's view of the
+// active one — progress observed through the shared ledger rather than
+// the network — and the basis of the takeover veto: a ledger that is
+// still growing means the active coordinator is alive no matter what
+// its health endpoint says.
+//
+// The offset only ever advances past newline-terminated lines, so a
+// torn final write (the active coordinator killed mid-flush) is simply
+// re-read on the next Poll once — if ever — it completes. Lines that
+// are newline-terminated but unparsable are skipped and counted, same
+// as salvage. If the file shrinks below the offset (a compaction
+// replaced it), the tail resets and re-reads from the start; callers
+// using Poll for liveness treat any returned entries as activity, so a
+// reset at worst errs on the side of "alive".
+type CheckpointTail struct {
+	fsys fault.FS
+	path string
+	off  int64
+	// BadLines counts newline-terminated lines that did not parse.
+	BadLines int
+}
+
+// NewCheckpointTail tails the checkpoint at path. fsys nil selects the
+// real filesystem. The tail starts at offset zero: the first Poll
+// returns everything already recorded.
+func NewCheckpointTail(fsys fault.FS, path string) *CheckpointTail {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	return &CheckpointTail{fsys: fsys, path: path}
+}
+
+// Poll reads any lines completed since the last Poll. A missing file
+// is not an error — it reports no entries until the file appears.
+func (t *CheckpointTail) Poll() ([]TailEntry, error) {
+	f, err := t.fsys.Open(t.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	// FS.Open returns a plain reader (no Seek), so the already-consumed
+	// prefix is discarded by reading. Coming up short means the file
+	// shrank under us: reset and re-read from the start.
+	if t.off > 0 {
+		n, err := io.CopyN(io.Discard, f, t.off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		if n < t.off {
+			t.off = 0
+			f.Close()
+			return t.Poll()
+		}
+	}
+
+	var out []TailEntry
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		n := len(line)
+		if n > 0 && line[n-1] == '\n' {
+			t.off += int64(n)
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) == 0 {
+				continue
+			}
+			var e checkpointEntry
+			if json.Unmarshal(trimmed, &e) == nil && e.Key != "" {
+				out = append(out, TailEntry{
+					Key:     e.Key,
+					Value:   append(json.RawMessage(nil), e.Value...),
+					Elapsed: time.Duration(e.ElapsedNS),
+				})
+			} else {
+				t.BadLines++
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+// Offset reports how many bytes of the file have been consumed.
+func (t *CheckpointTail) Offset() int64 { return t.off }

@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func tailAppend(t *testing.T, path, s string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tailKeys(es []TailEntry) []string {
+	keys := make([]string, len(es))
+	for i, e := range es {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// TestCheckpointTailIncremental: each Poll returns exactly the lines
+// completed since the previous one, a torn (newline-less) tail is held
+// back until its newline lands, and the offset never advances past it
+// early.
+func TestCheckpointTailIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	tl := NewCheckpointTail(nil, path)
+
+	// Missing file: no entries, no error.
+	if es, err := tl.Poll(); err != nil || len(es) != 0 {
+		t.Fatalf("missing file: Poll = %v, %v", es, err)
+	}
+
+	tailAppend(t, path, `{"key":"a","value":{"n":1},"elapsed_ns":5}`+"\n")
+	es, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailKeys(es); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("first poll keys = %v", got)
+	}
+	if es[0].Elapsed != 5*time.Nanosecond || string(es[0].Value) != `{"n":1}` {
+		t.Errorf("entry = %+v", es[0])
+	}
+
+	// A complete line followed by a torn one: only the complete line is
+	// consumed; the torn bytes are re-read once the newline arrives.
+	tailAppend(t, path, `{"key":"b","value":{}}`+"\n"+`{"key":"c","value":{}`)
+	if got := mustPoll(t, tl); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("torn-tail poll keys = %v", got)
+	}
+	if got := mustPoll(t, tl); len(got) != 0 {
+		t.Fatalf("re-poll of torn tail returned %v", got)
+	}
+	tailAppend(t, path, "}\n")
+	if got := mustPoll(t, tl); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("completed-tail poll keys = %v", got)
+	}
+
+	// A newline-terminated garbage line is counted, not returned, and
+	// does not stall the lines after it.
+	tailAppend(t, path, "not json\n"+`{"key":"d","value":{}}`+"\n")
+	if got := mustPoll(t, tl); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("post-garbage poll keys = %v", got)
+	}
+	if tl.BadLines != 1 {
+		t.Errorf("BadLines = %d, want 1", tl.BadLines)
+	}
+}
+
+// TestCheckpointTailShrinkResets: a file replaced by a shorter one (a
+// compaction) resets the tail to offset zero and re-reads from the
+// start rather than erroring or skipping.
+func TestCheckpointTailShrinkResets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	tl := NewCheckpointTail(nil, path)
+	tailAppend(t, path, `{"key":"a","value":{}}`+"\n"+`{"key":"b","value":{}}`+"\n")
+	if got := mustPoll(t, tl); len(got) != 2 {
+		t.Fatalf("initial poll keys = %v", got)
+	}
+	if err := os.WriteFile(path, []byte(`{"key":"a","value":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustPoll(t, tl); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("post-shrink poll keys = %v", got)
+	}
+	if tl.Offset() == 0 {
+		t.Error("offset not re-advanced after reset")
+	}
+}
+
+// TestCheckpointTailMatchesAppender: everything the checkpoint
+// appender writes comes back out of the tail byte-identically — the
+// value bytes are not re-marshaled in transit.
+func TestCheckpointTailMatchesAppender(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	app, err := OpenCheckpointAppender(nil, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"k1": `{"orig":0.25,"prox":0.24}`,
+		"k2": `null`,
+	}
+	for k, v := range want {
+		if err := app.Append(k, json.RawMessage(v), time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewCheckpointTail(nil, path).Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(want) {
+		t.Fatalf("tailed %d entries, want %d", len(es), len(want))
+	}
+	for _, e := range es {
+		if string(e.Value) != want[e.Key] {
+			t.Errorf("%s: value %s, want %s", e.Key, e.Value, want[e.Key])
+		}
+	}
+}
+
+func mustPoll(t *testing.T, tl *CheckpointTail) []string {
+	t.Helper()
+	es, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tailKeys(es)
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -31,6 +32,22 @@ import (
 	"github.com/uteda/gmap/internal/synth"
 	"github.com/uteda/gmap/internal/trace"
 )
+
+// A SweepDelegate runs sweep jobs on an external execution fabric.
+// internal/dist implements it with an in-process coordinator that
+// leases partitions to remote workers (the api package cannot import
+// dist — dist ships JobSpec inside lease grants — so the seam points
+// the other way). RunSweep executes spec over ledger (the job's
+// checkpoint file: delegate progress and local progress accumulate in
+// the same place) and returns the rendered report. An error means the
+// delegate could not finish the sweep — busy, no workers, no progress
+// before its deadline — and the caller falls back to local execution,
+// resuming from the very same ledger. Handler serves the delegate's
+// worker-facing wire surface.
+type SweepDelegate interface {
+	RunSweep(ctx context.Context, spec JobSpec, ledger string) (string, error)
+	Handler() http.Handler
+}
 
 // Job statuses, as reported by GET /v1/jobs/{id}.
 const (
@@ -69,6 +86,15 @@ type Options struct {
 	// Tracer, when non-nil, records spans for sweep jobs, exposed at
 	// /trace.
 	Tracer *obstrace.Tracer
+	// SweepDelegate, when non-nil, offers sweep jobs to an external
+	// execution fabric (the distributed coordinator) before falling back
+	// to the local runner pool. Both paths execute over the same per-job
+	// checkpoint, so a sweep that starts distributed and finishes local
+	// — or the other way around — never repeats a completed point, and
+	// the rendered report is byte-identical either way. The delegate's
+	// Handler is mounted under /dist/v1/ so workers dial the service
+	// itself.
+	SweepDelegate SweepDelegate
 	// DefaultTenant is the tenant attributed to requests without an
 	// X-Gmap-Tenant header. Default "anonymous".
 	DefaultTenant string
@@ -423,6 +449,26 @@ type sweepResult struct {
 }
 
 func (s *Service) runSweep(ctx context.Context, js *jobState) ([]byte, error) {
+	// Offer the sweep to the distributed fabric first, when one is
+	// configured. Delegate and local execution share the job's
+	// checkpoint, so a delegate that dies mid-sweep (coordinator lost,
+	// workers gone, progress deadline blown) costs nothing: the local
+	// fallback resumes from the points the fabric already merged.
+	if d := s.o.SweepDelegate; d != nil {
+		report, err := d.RunSweep(ctx, js.spec, s.st.CheckpointPath(js.id))
+		if err == nil {
+			return json.Marshal(sweepResult{
+				Kind:       KindSweep,
+				Experiment: js.spec.Experiment,
+				Report:     report,
+			})
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		s.counter("serve.api.sweep_delegate_fallbacks").Inc()
+		s.logf("job %s: sweep delegate failed (%v); falling back to local execution", js.id, err)
+	}
 	eo := js.spec.EvalOptions()
 	opts := &eo
 	opts.Workers = s.o.SweepWorkers

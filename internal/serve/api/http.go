@@ -38,6 +38,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	if d := s.o.SweepDelegate; d != nil {
+		// The distributed fabric's worker-facing surface rides the same
+		// port: workers dial the service and the delegate routes them to
+		// whichever sweep's coordinator is live (503 when none is).
+		mux.Handle("/dist/v1/", d.Handler())
+	}
 	mux.Handle("/", obsserve.Handler(obsserve.Options{
 		Registry: s.o.Obs,
 		Tracer:   s.o.Tracer,
