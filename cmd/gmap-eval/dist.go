@@ -9,6 +9,10 @@ import (
 	"time"
 
 	"github.com/uteda/gmap/internal/dist"
+	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/obs/fleet"
+	obsserve "github.com/uteda/gmap/internal/obs/serve"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/serve/api"
 )
 
@@ -24,6 +28,37 @@ type distFlags struct {
 	standby        bool          // -dist-standby: standby/failover mode
 	healthInterval time.Duration // -dist-health-interval
 	healthMisses   int           // -dist-health-misses
+	fleetInterval  time.Duration // -fleet-interval: federation scrape cadence
+}
+
+// federate wires the fleet federator onto a live coordinator: scrape
+// targets come from the coordinator's worker roster (workers that
+// self-announced an exposition URL on lease), the owner status document
+// is the coordinator's own snapshot, and the merged surface mounts
+// under /fleet/ on the coordinator's existing listener. Returns the
+// stop function that halts the scrape loop.
+func federate(ctx context.Context, c *dist.Coordinator, reg *obs.Registry, tracer *obstrace.Tracer, interval time.Duration, logf func(string, ...interface{})) func() {
+	fed := fleet.New(fleet.Options{
+		Self:     "coordinator",
+		Registry: reg,
+		Tracer:   tracer,
+		Interval: interval,
+		Targets: func() []fleet.Source {
+			var srcs []fleet.Source
+			for _, ws := range c.StatusSnapshot().Workers {
+				if ws.ObsURL != "" {
+					srcs = append(srcs, fleet.Source{Name: ws.Name, URL: ws.ObsURL})
+				}
+			}
+			return srcs
+		},
+		Status: func() interface{} { return c.StatusSnapshot() },
+		Logf:   logf,
+	})
+	c.SetFleet(fed.Handler())
+	fctx, cancel := context.WithCancel(ctx)
+	go fed.Run(fctx)
+	return cancel
 }
 
 // runCoordinator distributes the sweep: partition the job space, lease
@@ -36,17 +71,28 @@ func runCoordinator(ctx context.Context, spec api.JobSpec, df distFlags, ledger 
 	if ledger == "" {
 		return fmt.Errorf("-dist-listen requires -checkpoint (the merge ledger)")
 	}
+	// The coordinator is a service, not a simulation hot path: its
+	// registry and tracer are always on, so /fleet/ and the merged
+	// distributed trace exist for every sweep. Simulation results are
+	// observability-blind either way (bit-identity is enforced by the
+	// conformance suite).
+	reg := obs.New()
+	tracer := obstrace.New()
 	c, err := dist.NewCoordinator(dist.CoordinatorOptions{
 		Spec:     spec,
 		Parts:    df.parts,
 		LeaseTTL: df.leaseTTL,
 		Ledger:   ledger,
+		Obs:      reg,
+		Trace:    tracer,
 		Logf:     logf,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	stopFed := federate(ctx, c, reg, tracer, df.fleetInterval, logf)
+	defer stopFed()
 	srv, err := c.Serve(ctx, df.listen)
 	if err != nil {
 		return err
@@ -92,6 +138,8 @@ func runStandby(ctx context.Context, spec api.JobSpec, df distFlags, ledger stri
 		}
 		watch = []string{strings.TrimSpace(string(data))}
 	}
+	reg := obs.New()
+	tracer := obstrace.New()
 	t, err := dist.RunStandby(ctx, dist.StandbyOptions{
 		Spec:           spec,
 		Ledger:         ledger,
@@ -102,6 +150,8 @@ func runStandby(ctx context.Context, spec api.JobSpec, df distFlags, ledger stri
 		HealthMisses:   df.healthMisses,
 		Parts:          df.parts,
 		LeaseTTL:       df.leaseTTL,
+		Obs:            reg,
+		Trace:          tracer,
 		Logf:           logf,
 	})
 	if err != nil {
@@ -113,6 +163,10 @@ func runStandby(ctx context.Context, spec api.JobSpec, df distFlags, ledger stri
 	}
 	c := t.Coordinator
 	defer c.Close()
+	// The takeover coordinator's server is already live; SetFleet is
+	// resolved per request, so federation attaches after the fact.
+	stopFed := federate(ctx, c, reg, tracer, df.fleetInterval, logf)
+	defer stopFed()
 	if t.Server != nil {
 		defer t.Server.Shutdown()
 		fmt.Fprintf(os.Stderr, "gmap-eval: standby took over %s on %s (epoch %d)\n", spec.Experiment, t.Server.URL(), c.Epoch())
@@ -133,7 +187,15 @@ func runStandby(ctx context.Context, spec api.JobSpec, df distFlags, ledger stri
 // coordinator endpoints (active plus standby), and addrFile — re-read
 // before every retry — overrides them all, so a standby takeover
 // redirects the worker without restart.
-func runWorker(ctx context.Context, urls, addrFile string, workers, simWorkers int, logf func(string, ...interface{})) error {
+//
+// serveAddr, when non-empty, additionally starts the exposition server
+// (-serve, same surface as a serial run) and opts the worker into the
+// fleet: the exposition URL rides in each lease request so the
+// coordinator's federator discovers it, spans parent under the
+// coordinator's sweep trace, and tallies push on lease end and
+// shutdown. Without -serve the worker's Obs and Trace stay nil — the
+// simulation hot path keeps its single disabled-path branch.
+func runWorker(ctx context.Context, urls, addrFile, serveAddr string, workers, simWorkers int, logf func(string, ...interface{})) error {
 	var endpoints []string
 	if urls != "" {
 		endpoints = strings.Split(urls, ",")
@@ -143,12 +205,30 @@ func runWorker(ctx context.Context, urls, addrFile string, workers, simWorkers i
 		first = endpoints[0]
 		endpoints = endpoints[1:]
 	}
-	return dist.RunWorker(ctx, dist.WorkerOptions{
+	wo := dist.WorkerOptions{
 		Coordinator: first,
 		Endpoints:   endpoints,
 		AddrFile:    addrFile,
 		Workers:     workers,
 		SimWorkers:  simWorkers,
 		Logf:        logf,
-	})
+	}
+	if serveAddr != "" {
+		reg := obs.New()
+		tracer := obstrace.New()
+		srv, err := obsserve.Start(ctx, obsserve.Options{
+			Addr:     serveAddr,
+			Registry: reg,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Shutdown()
+		wo.Obs = reg
+		wo.Trace = tracer
+		wo.ObsURL = "http://" + srv.Addr()
+		fmt.Fprintf(os.Stderr, "gmap-eval: worker observability on %s\n", wo.ObsURL)
+	}
+	return dist.RunWorker(ctx, wo)
 }

@@ -32,6 +32,15 @@
 //	gmap-eval -exp fig6a -dist-standby -worker http://host:9500 -dist-listen :9501 \
 //	    -dist-addr-file coord.addr -checkpoint fig6a.ckpt
 //	gmap-eval -worker-addr-file coord.addr   # workers follow the file across failover
+//
+// A coordinator federates the fleet's observability: workers started
+// with -serve self-announce their exposition URLs in lease requests,
+// the coordinator scrapes them, and the merged view — labeled metrics,
+// fleet status, the cross-process sweep trace — is served under /fleet/
+// on the coordinator's port. Watch it live from any terminal:
+//
+//	gmap-eval -worker http://host:9500 -serve :0     # worker joins the fleet
+//	gmap-eval -fleet-watch http://host:9500          # or -fleet-watch coord.addr
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 
 	"github.com/uteda/gmap"
 	"github.com/uteda/gmap/internal/eval"
+	"github.com/uteda/gmap/internal/obs/fleet"
 	"github.com/uteda/gmap/internal/serve/api"
 )
 
@@ -87,6 +97,8 @@ func main() {
 		distStandby = flag.Bool("dist-standby", false, "run as a standby coordinator: watch the active one (-worker / -worker-addr-file) over the shared -checkpoint ledger and take over if it dies")
 		distHealthI = flag.Duration("dist-health-interval", 0, "standby health-probe interval (0 = 1s)")
 		distHealthM = flag.Int("dist-health-misses", 0, "consecutive failed probes (with no ledger growth) before the standby takes over (0 = 3)")
+		fleetWatch  = flag.String("fleet-watch", "", "live fleet status view: poll this coordinator URL's /fleet/status and repaint (also accepts a -dist-addr-file path)")
+		fleetIval   = flag.Duration("fleet-interval", 0, "fleet federation cadence: coordinator scrape interval, or -fleet-watch refresh (0 = 2s)")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -107,6 +119,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *fleetWatch != "" {
+		// Accept either a URL or an addr file (the same file
+		// -dist-addr-file writes), so `gmap-eval -fleet-watch coord.addr`
+		// follows the coordinator across a standby failover.
+		base := *fleetWatch
+		if data, err := os.ReadFile(base); err == nil {
+			base = strings.TrimSpace(string(data))
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		if err := fleet.Watch(ctx, os.Stdout, base, *fleetIval); err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
 	if *workerURL != "" || *workerAddr != "" || *distStandby || *distListen != "" {
 		df := distFlags{
 			listen:         *distListen,
@@ -118,11 +146,13 @@ func main() {
 			standby:        *distStandby,
 			healthInterval: *distHealthI,
 			healthMisses:   *distHealthM,
+			fleetInterval:  *fleetIval,
 		}
 		if !df.standby && df.listen == "" {
 			// Plain worker mode: the sweep's shape comes from the
-			// coordinator inside each lease grant.
-			if err := runWorker(ctx, df.worker, df.workerAddrFile, *workers, *simWorkers, distLogf); err != nil && ctx.Err() == nil {
+			// coordinator inside each lease grant. -serve opts the worker
+			// into the fleet (exposition server + scrape discovery).
+			if err := runWorker(ctx, df.worker, df.workerAddrFile, *serveAddr, *workers, *simWorkers, distLogf); err != nil && ctx.Err() == nil {
 				fatal(err)
 			}
 			return

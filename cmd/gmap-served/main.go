@@ -29,6 +29,7 @@ import (
 
 	"github.com/uteda/gmap/internal/dist"
 	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/obs/fleet"
 	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/serve"
 	"github.com/uteda/gmap/internal/serve/api"
@@ -55,6 +56,7 @@ func main() {
 		distDL    = flag.Duration("dist-deadline", 0, "no-progress deadline before a delegated sweep falls back to local execution (0 = 2m; with -dist-sweeps)")
 		distParts = flag.Int("dist-parts", 0, "partitions of each delegated sweep's job space (0 = 8; with -dist-sweeps)")
 		distTTL   = flag.Duration("dist-lease-ttl", 0, "worker lease heartbeat deadline for delegated sweeps (0 = 30s; with -dist-sweeps)")
+		fleetIval = flag.Duration("fleet-interval", 0, "fleet federation scrape cadence for delegated-sweep workers (0 = 2s; with -dist-sweeps)")
 	)
 	flag.Parse()
 
@@ -109,18 +111,54 @@ func main() {
 			log.Printf("gmap-served: "+format, args...)
 		}
 	}
+	var delegate *dist.Delegate
 	if *distSweep {
-		opts.SweepDelegate = dist.NewDelegate(dist.DelegateOptions{
+		delegate = dist.NewDelegate(dist.DelegateOptions{
 			Parts:    *distParts,
 			LeaseTTL: *distTTL,
 			Deadline: *distDL,
 			Obs:      reg,
+			Trace:    tracer,
 			Logf:     opts.Logf,
 		})
+		opts.SweepDelegate = delegate
 	}
 	svc, err := api.New(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if delegate != nil {
+		// Federate the delegated-sweep fleet: workers dialing this
+		// server's /dist/v1/ self-announce their exposition URLs, the
+		// federator scrapes them, and /fleet/* rides the service mux.
+		// The owner status is composite — the live delegated sweep (if
+		// any) plus the local job queue.
+		fed := fleet.New(fleet.Options{
+			Self:     "gmap-served",
+			Registry: reg,
+			Tracer:   tracer,
+			Interval: *fleetIval,
+			Targets: func() []fleet.Source {
+				var srcs []fleet.Source
+				if st := delegate.Status(); st != nil {
+					for _, ws := range st.Workers {
+						if ws.ObsURL != "" {
+							srcs = append(srcs, fleet.Source{Name: ws.Name, URL: ws.ObsURL})
+						}
+					}
+				}
+				return srcs
+			},
+			Status: func() interface{} {
+				return map[string]interface{}{
+					"dist":  delegate.Status(),
+					"queue": svc.Queue().Stats(),
+				}
+			},
+			Logf: opts.Logf,
+		})
+		svc.SetFleet(fed.Handler())
+		go fed.Run(ctx)
 	}
 	srv, err := serve.Start(ctx, "gmap-served", *addr, svc.Handler())
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"github.com/uteda/gmap/internal/eval"
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/serve/api"
 )
@@ -64,6 +66,11 @@ type CoordinatorOptions struct {
 	FS fault.FS
 	// Obs, when non-nil, mirrors lease/merge counters ("dist.*").
 	Obs *obs.Registry
+	// Trace, when non-nil, records the sweep span and one child span per
+	// lease. Each grant carries the lease span's context as a
+	// traceparent header, so worker-side spans parent under it in a
+	// merged export (internal/obs/fleet).
+	Trace *obstrace.Tracer
 	// Logf, when non-nil, receives one line per lease-state transition.
 	Logf func(format string, args ...interface{})
 }
@@ -101,12 +108,14 @@ type lease struct {
 	granted    time.Time
 	renewed    time.Time
 	lastResult time.Time
+	span       *obstrace.Span // child of the sweep span; nil when not tracing
 }
 
 // workerStat tracks one worker's liveness across its leases.
 type workerStat struct {
 	granted  uint64
 	lastSeen time.Time
+	obsURL   string // the worker's own exposition server, "" if unannounced
 }
 
 // LeaseGrant is the coordinator's answer to a lease request.
@@ -133,6 +142,17 @@ type LeaseGrant struct {
 	// poll interval.
 	TTLNS   int64 `json:"ttl_ns,omitempty"`
 	RetryNS int64 `json:"retry_ns,omitempty"`
+	// Traceparent carries the lease span's context ("" when the
+	// coordinator is not tracing): the worker opens its own lease span as
+	// a remote child of it, which is what lets a merged trace export show
+	// worker work nested under the coordinator's sweep.
+	Traceparent string `json:"traceparent,omitempty"`
+	// Worker echoes the name the coordinator resolved for the caller. An
+	// unnamed worker is default-named from its remote address by the
+	// lease handler; adopting the echoed name is what lets such a worker
+	// label its own fleet pushes so they match the coordinator's
+	// scrape-target entry instead of being rejected as anonymous.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Grant statuses.
@@ -147,30 +167,30 @@ const (
 // and Workers are the auto-scaling hook surface: lease ages expose
 // stragglers, worker last-seen timestamps expose dead workers.
 type Status struct {
-	Experiment string `json:"experiment"`
-	Epoch      uint64 `json:"epoch"`
-	Deposed    bool   `json:"deposed,omitempty"`
-	TotalJobs  int    `json:"total_jobs"`
-	DoneJobs   int    `json:"done_jobs"`
-	Parts      int    `json:"parts"`
-	DoneParts  int    `json:"done_parts"`
-	LiveLeases int    `json:"live_leases"`
-	Granted    uint64 `json:"granted"`
-	Expired    uint64 `json:"expired"`
-	Stolen     uint64 `json:"stolen"`
-	Duplicates uint64 `json:"duplicates"`
-	Late       uint64 `json:"late_results"`
-	Restored   int    `json:"restored"`
-	Done       bool   `json:"done"`
+	Experiment string         `json:"experiment"`
+	Epoch      uint64         `json:"epoch"`
+	Deposed    bool           `json:"deposed,omitempty"`
+	TotalJobs  int            `json:"total_jobs"`
+	DoneJobs   int            `json:"done_jobs"`
+	Parts      int            `json:"parts"`
+	DoneParts  int            `json:"done_parts"`
+	LiveLeases int            `json:"live_leases"`
+	Granted    uint64         `json:"granted"`
+	Expired    uint64         `json:"expired"`
+	Stolen     uint64         `json:"stolen"`
+	Duplicates uint64         `json:"duplicates"`
+	Late       uint64         `json:"late_results"`
+	Restored   int            `json:"restored"`
+	Done       bool           `json:"done"`
 	Partitions []PartStatus   `json:"partitions,omitempty"`
 	Workers    []WorkerStatus `json:"workers,omitempty"`
 }
 
 // PartStatus is one partition's progress in a Status snapshot.
 type PartStatus struct {
-	Part      int    `json:"part"`
-	Keys      int    `json:"keys"`
-	Remaining int    `json:"remaining"`
+	Part      int `json:"part"`
+	Keys      int `json:"keys"`
+	Remaining int `json:"remaining"`
 	// Lease/Worker/LeaseAgeNS describe the live lease, if any. LeaseAgeNS
 	// is time since the grant — a straggler detector for auto-scalers.
 	Lease      string `json:"lease,omitempty"`
@@ -185,6 +205,9 @@ type WorkerStatus struct {
 	Name           string `json:"name"`
 	Granted        uint64 `json:"granted"`
 	LastSeenUnixNS int64  `json:"last_seen_unix_ns"`
+	// ObsURL is the worker's self-announced exposition server — the
+	// fleet federation's scrape target discovery.
+	ObsURL string `json:"obs_url,omitempty"`
 }
 
 // Coordinator owns the sweep's job universe: it enumerates the keys,
@@ -213,6 +236,9 @@ type Coordinator struct {
 	dups     uint64
 	late     uint64
 	restored int
+
+	sweepSpan *obstrace.Span // ended exactly once, when the last job lands
+	fleet     http.Handler   // mounted under /fleet/ when set
 
 	finished  chan struct{}
 	finishGen sync.Once
@@ -291,6 +317,14 @@ func newCoordinator(spec api.JobSpec, keys []string, o CoordinatorOptions) (*Coo
 		sort.Strings(p.keys)
 	}
 
+	// The sweep span is the root every lease span (and transitively every
+	// worker-side span) hangs off; it ends when the last job lands.
+	c.sweepSpan = o.Trace.Root("dist.sweep",
+		obstrace.String("experiment", spec.Experiment),
+		obstrace.Int("epoch", int64(c.epoch)),
+		obstrace.Int("jobs", int64(len(keys))),
+		obstrace.Int("parts", int64(nparts)))
+
 	// Restart path: fold the surviving ledger back in before accepting
 	// anything new. Strict salvage refuses divergent payloads and
 	// truncates a torn tail so the appender cannot glue onto garbage.
@@ -366,6 +400,43 @@ func (c *Coordinator) journalLocked(leaseID, state string, part int, worker stri
 		_ = c.journal.Close()
 		c.journal = nil
 	}
+}
+
+// SetFleet mounts h (the fleet federation surface, internal/obs/fleet)
+// under /fleet/ on the coordinator's HTTP handler. Call before Serve.
+func (c *Coordinator) SetFleet(h http.Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fleet = h
+}
+
+// fleetHandler returns the mounted federation surface, nil if none.
+func (c *Coordinator) fleetHandler() http.Handler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fleet
+}
+
+// Ready backs /readyz: a coordinator is ready while it can still merge
+// results — not deposed, ledger appender open, persisted epoch
+// readable and current.
+func (c *Coordinator) Ready() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deposed {
+		return fmt.Errorf("deposed at epoch %d", c.epoch)
+	}
+	if c.appender == nil {
+		return errors.New("ledger closed")
+	}
+	cur, err := ReadEpoch(c.fs(), c.o.Ledger)
+	if err != nil {
+		return fmt.Errorf("epoch unreadable: %v", err)
+	}
+	if cur != c.epoch {
+		return fmt.Errorf("epoch %d superseded by %d", c.epoch, cur)
+	}
+	return nil
 }
 
 // Epoch is this incarnation's fencing epoch.
@@ -469,15 +540,24 @@ func (c *Coordinator) WaitDone(ctx context.Context) error {
 // every key is recorded, "done". A deposed coordinator refuses to
 // grant (ErrStaleEpoch): the worker's retry loop finds the successor.
 func (c *Coordinator) Lease(worker string) (LeaseGrant, error) {
+	return c.LeaseAs(worker, "")
+}
+
+// LeaseAs is Lease with a self-announcement: obsURL, when non-empty, is
+// the worker's own exposition server, recorded for the fleet
+// federation's scrape-target discovery (StatusSnapshot surfaces it).
+func (c *Coordinator) LeaseAs(worker, obsURL string) (LeaseGrant, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.fenceLocked(-1); err != nil {
 		return LeaseGrant{}, err
 	}
-	c.seenLocked(worker)
+	if ws := c.seenLocked(worker); obsURL != "" {
+		ws.obsURL = obsURL
+	}
 	c.expireLocked()
 	if c.doneLocked() {
-		return LeaseGrant{Status: GrantDone, Epoch: c.epoch}, nil
+		return LeaseGrant{Status: GrantDone, Epoch: c.epoch, Worker: worker}, nil
 	}
 	for _, p := range c.parts {
 		if len(p.remaining) > 0 && p.leaseID == "" {
@@ -487,7 +567,7 @@ func (c *Coordinator) Lease(worker string) (LeaseGrant, error) {
 	if p := c.stealLocked(); p != nil {
 		return c.grantLocked(worker, p), nil
 	}
-	return LeaseGrant{Status: GrantWait, Epoch: c.epoch, RetryNS: int64(c.o.LeaseTTL / 4)}, nil
+	return LeaseGrant{Status: GrantWait, Epoch: c.epoch, Worker: worker, RetryNS: int64(c.o.LeaseTTL / 4)}, nil
 }
 
 // seenLocked refreshes a worker's last-seen instant.
@@ -512,6 +592,11 @@ func (c *Coordinator) grantLocked(worker string, p *partState) LeaseGrant {
 	id := fmt.Sprintf("lease-%d-%04d", c.epoch, c.seq)
 	now := c.now()
 	l := &lease{id: id, worker: worker, part: p.id, granted: now, renewed: now}
+	l.span = c.sweepSpan.ChildTrack("dist.lease",
+		obstrace.String("lease", id),
+		obstrace.Int("part", int64(p.id)),
+		obstrace.String("worker", worker),
+		obstrace.Int("epoch", int64(c.epoch)))
 	c.leases[id] = l
 	p.leaseID = id
 	keys := make([]string, 0, len(p.remaining))
@@ -522,14 +607,16 @@ func (c *Coordinator) grantLocked(worker string, p *partState) LeaseGrant {
 	c.journalLocked(id, "granted", p.id, worker)
 	c.logf("dist: lease %s: part %d/%d (%d keys) -> worker %s", id, p.id, len(c.parts), len(keys), worker)
 	return LeaseGrant{
-		Status: GrantLease,
-		Lease:  id,
-		Epoch:  c.epoch,
-		Part:   p.id,
-		Parts:  len(c.parts),
-		Keys:   keys,
-		Spec:   c.spec,
-		TTLNS:  int64(c.o.LeaseTTL),
+		Status:      GrantLease,
+		Lease:       id,
+		Epoch:       c.epoch,
+		Part:        p.id,
+		Parts:       len(c.parts),
+		Keys:        keys,
+		Spec:        c.spec,
+		TTLNS:       int64(c.o.LeaseTTL),
+		Traceparent: l.span.Context().Traceparent(),
+		Worker:      worker,
 	}
 }
 
@@ -549,7 +636,11 @@ func (c *Coordinator) expireLocked() {
 }
 
 // revokeLocked forgets a live lease and returns its part to the pool.
+// The lease span ends here — whatever the cause (expiry, steal,
+// completion, part exhaustion), the callers journal the outcome and the
+// span just bounds the lease's lifetime.
 func (c *Coordinator) revokeLocked(l *lease) {
+	l.span.End()
 	delete(c.leases, l.id)
 	if p := c.parts[l.part]; p.leaseID == l.id {
 		p.leaseID = ""
@@ -720,10 +811,10 @@ func (c *Coordinator) markDoneLocked(key string, val json.RawMessage, elapsedNS 
 	p := c.parts[c.universe[key]]
 	delete(p.remaining, key)
 	if len(p.remaining) == 0 {
-		if p.leaseID != "" {
-			delete(c.leases, p.leaseID)
-			p.leaseID = ""
+		if l := c.leases[p.leaseID]; p.leaseID != "" && l != nil {
+			c.revokeLocked(l)
 		}
+		p.leaseID = ""
 		c.checkFinishedLocked()
 	}
 }
@@ -732,7 +823,10 @@ func (c *Coordinator) doneLocked() bool { return len(c.done) == len(c.universe) 
 
 func (c *Coordinator) checkFinishedLocked() {
 	if c.doneLocked() {
-		c.finishGen.Do(func() { close(c.finished) })
+		c.finishGen.Do(func() {
+			c.sweepSpan.End()
+			close(c.finished)
+		})
 	}
 }
 
@@ -817,6 +911,7 @@ func (c *Coordinator) StatusSnapshot() Status {
 			Name:           name,
 			Granted:        ws.granted,
 			LastSeenUnixNS: ws.lastSeen.UnixNano(),
+			ObsURL:         ws.obsURL,
 		})
 	}
 	return st

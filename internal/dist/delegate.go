@@ -11,6 +11,7 @@ import (
 
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/serve/api"
 )
 
@@ -41,6 +42,10 @@ type DelegateOptions struct {
 	FS fault.FS
 	// Obs, when non-nil, collects coordinator and delegate counters.
 	Obs *obs.Registry
+	// Trace, when non-nil, is handed to each sweep's coordinator: sweep
+	// and lease spans land here, and lease grants carry trace context to
+	// the workers.
+	Trace *obstrace.Tracer
 	// Logf, when non-nil, receives delegate and coordinator lines.
 	Logf func(format string, args ...interface{})
 }
@@ -89,6 +94,7 @@ func (d *Delegate) RunSweep(ctx context.Context, spec api.JobSpec, ledger string
 		Ledger:      ledger,
 		FS:          d.o.FS,
 		Obs:         d.o.Obs,
+		Trace:       d.o.Trace,
 		Logf:        d.o.Logf,
 	})
 	if err != nil {
@@ -154,6 +160,19 @@ func (d *Delegate) RunSweep(ctx context.Context, spec api.JobSpec, ledger string
 			}
 		}
 	}
+}
+
+// Status snapshots the live sweep's coordinator, nil when idle — the
+// fleet federation's window into delegate state.
+func (d *Delegate) Status() *Status {
+	d.mu.Lock()
+	c := d.cur
+	d.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	st := c.StatusSnapshot()
+	return &st
 }
 
 // Handler routes worker traffic to the live sweep's coordinator. With

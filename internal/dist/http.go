@@ -21,6 +21,9 @@ import (
 // was granted under.
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	// ObsURL self-announces the worker's exposition server for the fleet
+	// federation's scrape discovery; optional.
+	ObsURL string `json:"obs_url,omitempty"`
 }
 
 type leaseOpRequest struct {
@@ -107,7 +110,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if req.Worker == "" {
 			req.Worker = r.RemoteAddr
 		}
-		g, err := c.Lease(req.Worker)
+		g, err := c.LeaseAs(req.Worker, req.ObsURL)
 		if err != nil {
 			writeErr(w, statusOf(err), err)
 			return
@@ -160,7 +163,29 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /dist/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.StatusSnapshot())
 	})
-	return mux
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := c.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/fleet/", func(w http.ResponseWriter, r *http.Request) {
+		// Resolved per request so SetFleet works even after Serve — a
+		// standby wires federation onto its takeover coordinator whose
+		// server is already live.
+		if fh := c.fleetHandler(); fh != nil {
+			fh.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return serve.Instrument(c.o.Obs, "dist", mux)
 }
 
 // Serve binds addr (":0" picks a free port) and serves the coordinator

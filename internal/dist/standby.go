@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/runner"
 	"github.com/uteda/gmap/internal/serve"
 	"github.com/uteda/gmap/internal/serve/api"
@@ -47,6 +49,9 @@ type StandbyOptions struct {
 	// Obs, when non-nil, collects standby counters (dist.health_misses,
 	// dist.takeovers) and is handed to the takeover coordinator.
 	Obs *obs.Registry
+	// Trace, when non-nil, is handed to the takeover coordinator so a
+	// post-takeover sweep keeps emitting sweep/lease spans.
+	Trace *obstrace.Tracer
 	// HTTPClient overrides the probe transport (tests); nil uses a
 	// short-timeout default.
 	HTTPClient *http.Client
@@ -72,7 +77,8 @@ type Takeover struct {
 // RunStandby watches an active coordinator and takes over when it goes
 // dark. The standby's evidence is deliberately two-channel:
 //
-//   - The health probe (GET /dist/v1/status on each Watch URL) says
+//   - The health probe (GET /healthz, then /dist/v1/status, on each
+//     Watch URL — status alone against pre-healthz coordinators) says
 //     whether the active coordinator answers.
 //   - The shared ledger and lease journal say whether it is making
 //     progress. Any growth in either file vetoes takeover and resets
@@ -117,7 +123,7 @@ func RunStandby(ctx context.Context, o StandbyOptions) (*Takeover, error) {
 				if base == "" {
 					continue
 				}
-				st, err := probeStatus(ctx, hc, base)
+				st, err := probeHealth(ctx, hc, base)
 				if err == nil {
 					return st, nil
 				}
@@ -187,6 +193,38 @@ func RunStandby(ctx context.Context, o StandbyOptions) (*Takeover, error) {
 	}
 }
 
+// probeHealth is the two-step liveness probe: a cheap GET /healthz
+// answers "the process serves", and only then is the full status
+// fetched. A coordinator that answers /healthz but whose status
+// endpoint errors still counts as alive (zero status, nil error) —
+// liveness is the takeover question, not status availability. Older
+// coordinators without /healthz fall back to the status probe alone.
+func probeHealth(ctx context.Context, hc *http.Client, base string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st, serr := probeStatus(ctx, hc, base)
+		if serr != nil {
+			return Status{}, nil // alive, status temporarily unanswerable
+		}
+		return st, nil
+	case resp.StatusCode == http.StatusNotFound:
+		// Pre-healthz coordinator: the status endpoint is the only probe.
+		return probeStatus(ctx, hc, base)
+	default:
+		return Status{}, fmt.Errorf("dist: health probe: %s", resp.Status)
+	}
+}
+
 // probeStatus GETs one coordinator's status endpoint.
 func probeStatus(ctx context.Context, hc *http.Client, base string) (Status, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/dist/v1/status", nil)
@@ -220,6 +258,7 @@ func promote(ctx context.Context, o StandbyOptions, logf func(string, ...interfa
 		Ledger:      o.Ledger,
 		FS:          o.FS,
 		Obs:         o.Obs,
+		Trace:       o.Trace,
 		Logf:        o.Logf,
 	})
 	if err != nil {

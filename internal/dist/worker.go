@@ -15,6 +15,8 @@ import (
 
 	"github.com/uteda/gmap/internal/fault"
 	"github.com/uteda/gmap/internal/obs"
+	"github.com/uteda/gmap/internal/obs/fleet"
+	obstrace "github.com/uteda/gmap/internal/obs/trace"
 	"github.com/uteda/gmap/internal/runner"
 )
 
@@ -63,6 +65,16 @@ type WorkerOptions struct {
 	// plus the retry counters (dist.lease_retries,
 	// dist.heartbeat_retries, dist.delivery_retries).
 	Obs *obs.Registry
+	// Trace, when non-nil, records one span per lease — a remote child
+	// of the coordinator's lease span when the grant carries a
+	// traceparent — with the eval pipeline's own spans nested under it,
+	// so a merged fleet export shows this worker's work inside the
+	// coordinator's sweep.
+	Trace *obstrace.Tracer
+	// ObsURL, when non-empty, self-announces this worker's exposition
+	// server base URL in lease requests, registering it as a fleet
+	// federation scrape target.
+	ObsURL string
 	// Logf, when non-nil, receives worker progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -167,9 +179,9 @@ func (c *client) postJSON(ctx context.Context, path string, in, out interface{})
 	return c.post(ctx, path, "application/json", body, out)
 }
 
-func (c *client) lease(ctx context.Context, worker string) (LeaseGrant, error) {
+func (c *client) lease(ctx context.Context, worker, obsURL string) (LeaseGrant, error) {
 	var g LeaseGrant
-	err := c.postJSON(ctx, "/dist/v1/lease", leaseRequest{Worker: worker}, &g)
+	err := c.postJSON(ctx, "/dist/v1/lease", leaseRequest{Worker: worker, ObsURL: obsURL}, &g)
 	return g, err
 }
 
@@ -348,6 +360,10 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		return errors.New("dist: no coordinator endpoint resolvable (addr file missing?)")
 	}
 	w.cl.setBase(eps[0])
+	// Whatever ends this worker — sweep done, cancellation, an error —
+	// its tallies and span log flush to the coordinator's federation
+	// surface so short-lived workers still appear in the merged view.
+	defer w.push(true)
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -356,7 +372,7 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		var g LeaseGrant
 		err := w.withRetry(ctx, "lease", "dist.lease_retries", func() error {
 			var lerr error
-			g, lerr = w.cl.lease(ctx, o.Name)
+			g, lerr = w.cl.lease(ctx, o.Name, o.ObsURL)
 			return lerr
 		})
 		if err != nil {
@@ -367,6 +383,13 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 				continue
 			}
 			return err
+		}
+		if o.Name == "" && g.Worker != "" {
+			// Adopt the coordinator's default naming (remote address) so
+			// fleet pushes from an unnamed worker carry the same name the
+			// coordinator tracks it under, rather than being anonymous.
+			o.Name = g.Worker
+			w.o.Name = g.Worker
 		}
 		switch g.Status {
 		case GrantDone:
@@ -406,6 +429,30 @@ func (w *worker) runLease(ctx context.Context, g LeaseGrant) error {
 	for _, k := range g.Keys {
 		mine[k] = true
 	}
+
+	// The lease span parents under the coordinator's lease span through
+	// the grant's traceparent (an absent or garbage header degrades to a
+	// local root); installing it as default parent nests the eval
+	// pipeline's own spans under it without the pipeline knowing
+	// anything about distribution. Everything here is nil-safe: an
+	// untraced worker takes one predictable branch per call.
+	sc, _ := obstrace.ParseTraceparent(g.Traceparent)
+	leaseSpan := o.Trace.RemoteChild(sc, "dist.worker.lease",
+		obstrace.String("lease", g.Lease),
+		obstrace.Int("epoch", int64(g.Epoch)),
+		obstrace.Int("part", int64(g.Part)),
+		obstrace.String("worker", o.Name),
+		obstrace.Int("keys", int64(len(g.Keys))))
+	o.Obs.Counter("dist.worker.leases").Inc()
+	o.Obs.Counter("dist.worker.keys_leased").Add(uint64(len(g.Keys)))
+	outcome := "ok"
+	defer func() {
+		o.Trace.SetDefaultParent(nil)
+		leaseSpan.Set(obstrace.String("outcome", outcome))
+		leaseSpan.End()
+		w.push(false)
+	}()
+	o.Trace.SetDefaultParent(leaseSpan)
 
 	shardCtx, cancelShard := context.WithCancel(ctx)
 	defer cancelShard()
@@ -492,6 +539,7 @@ func (w *worker) runLease(ctx context.Context, g LeaseGrant) error {
 	eo.SimWorkers = o.SimWorkers
 	eo.Context = shardCtx
 	eo.Obs = o.Obs
+	eo.Trace = o.Trace
 	eo.Shard = func(key string) bool { return mine[key] }
 	eo.ResultSink = func(key string, value json.RawMessage, elapsed time.Duration) error {
 		pending = append(pending, Entry{
@@ -529,16 +577,20 @@ func (w *worker) runLease(ctx context.Context, g LeaseGrant) error {
 	default:
 	}
 	if ferr != nil && runErr == nil && !leaseLost {
+		outcome = "error"
 		return ferr
 	}
 
 	switch {
 	case leaseLost:
 		// Not an error: someone else owns the part (or the epoch) now.
+		outcome = "lost"
 		return nil
 	case runErr != nil && ctx.Err() != nil:
+		outcome = "canceled"
 		return ctx.Err()
 	case runErr != nil:
+		outcome = "error"
 		return fmt.Errorf("dist: worker %s lease %s: %w", o.Name, g.Lease, runErr)
 	}
 	status, err := w.cl.complete(ctx, g.Lease, g.Epoch)
@@ -552,4 +604,46 @@ func (w *worker) runLease(ctx context.Context, g LeaseGrant) error {
 	}
 	logf("dist: worker %s: part %d complete (%s)", o.Name, g.Part, status)
 	return nil
+}
+
+// push ships the worker's metrics snapshot — and its span log — to the
+// coordinator's fleet federation endpoint (POST /fleet/push),
+// best-effort: a coordinator without a federator answers 404 and the
+// report is simply dropped. Pushes ride their own short deadline, not
+// the worker ctx — the final push happens exactly when the worker is
+// exiting, possibly because that ctx was cancelled.
+func (w *worker) push(final bool) {
+	if w.o.Obs == nil && w.o.Trace == nil {
+		return
+	}
+	pr := fleet.PushRequest{Worker: w.o.Name, URL: w.o.ObsURL, Final: final}
+	if w.o.Obs != nil {
+		snap := w.o.Obs.Snapshot()
+		pr.Snapshot = &snap
+	}
+	if w.o.Trace != nil {
+		var buf bytes.Buffer
+		if err := w.o.Trace.WriteJSONL(&buf); err == nil {
+			pr.TraceJSONL = buf.String()
+		}
+	}
+	body, err := json.Marshal(pr)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cl.baseURL()+"/fleet/push", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := w.cl.hc.Do(req)
+	if err != nil {
+		w.logf("dist: worker %s: fleet push: %v", w.o.Name, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
+	res.Body.Close()
 }

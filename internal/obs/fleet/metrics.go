@@ -1,0 +1,188 @@
+// Merged Prometheus rendering: every member's snapshot as one text
+// exposition, worker="..." labels per source plus an unlabeled
+// cross-fleet aggregate per metric.
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/uteda/gmap/internal/obs"
+)
+
+// namedSnapshot pairs one member's name with its registry snapshot.
+type namedSnapshot struct {
+	name string
+	snap obs.Snapshot
+}
+
+// WriteMetrics renders the merged fleet exposition as Prometheus text.
+// For every metric name present in any member's snapshot it emits one
+// labeled sample per reporting member plus an unlabeled aggregate —
+// counters and gauge values sum, gauge maxima take the max, histogram
+// buckets merge by boundary. Two workers reporting the same counter
+// therefore sum into the aggregate; the labels keep the per-worker
+// values apart. Series are a local debugging surface and are not
+// federated.
+func (f *Federator) WriteMetrics(w io.Writer) error {
+	var members []namedSnapshot
+	if f != nil {
+		members = f.snapshots()
+	}
+	bw := bufio.NewWriter(w)
+
+	writeCounters(bw, members)
+	writeGauges(bw, members)
+	writeHistograms(bw, members)
+	return bw.Flush()
+}
+
+// union collects the sorted set of metric names across members under
+// pick, which projects one snapshot's name set.
+func union(members []namedSnapshot, pick func(obs.Snapshot) []string) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, m := range members {
+		for _, n := range pick(m.snap) {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func counterNames(s obs.Snapshot) []string   { return mapKeys(s.Counters) }
+func gaugeNames(s obs.Snapshot) []string     { return gaugeKeys(s.Gauges) }
+func histogramNames(s obs.Snapshot) []string { return histKeys(s.Histograms) }
+
+func mapKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func gaugeKeys(m map[string]obs.GaugeSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func histKeys(m map[string]obs.HistogramSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func label(worker string) string {
+	return `{worker=` + strconv.Quote(worker) + `}`
+}
+
+func writeCounters(bw *bufio.Writer, members []namedSnapshot) {
+	for _, name := range union(members, counterNames) {
+		m := obs.PromName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", m)
+		var sum uint64
+		for _, mem := range members {
+			v, ok := mem.snap.Counters[name]
+			if !ok {
+				continue
+			}
+			sum += v
+			fmt.Fprintf(bw, "%s%s %d\n", m, label(mem.name), v)
+		}
+		fmt.Fprintf(bw, "%s %d\n", m, sum)
+	}
+}
+
+func writeGauges(bw *bufio.Writer, members []namedSnapshot) {
+	for _, name := range union(members, gaugeNames) {
+		m := obs.PromName(name)
+		var sum, max int64
+		var have bool
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", m)
+		for _, mem := range members {
+			g, ok := mem.snap.Gauges[name]
+			if !ok {
+				continue
+			}
+			sum += g.Value
+			if !have || g.Max > max {
+				max = g.Max
+			}
+			have = true
+			fmt.Fprintf(bw, "%s%s %d\n", m, label(mem.name), g.Value)
+		}
+		fmt.Fprintf(bw, "%s %d\n", m, sum)
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", m)
+		for _, mem := range members {
+			if g, ok := mem.snap.Gauges[name]; ok {
+				fmt.Fprintf(bw, "%s_max%s %d\n", m, label(mem.name), g.Max)
+			}
+		}
+		fmt.Fprintf(bw, "%s_max %d\n", m, max)
+	}
+}
+
+func writeHistograms(bw *bufio.Writer, members []namedSnapshot) {
+	for _, name := range union(members, histogramNames) {
+		m := obs.PromName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", m)
+
+		// Aggregate buckets merge by upper boundary; every member uses
+		// the same power-of-two bucketing, so boundaries align exactly.
+		merged := map[uint64]uint64{} // inclusive le boundary -> count
+		var totalCount, totalSum uint64
+		for _, mem := range members {
+			h, ok := mem.snap.Histograms[name]
+			if !ok {
+				continue
+			}
+			totalCount += h.Count
+			totalSum += h.Sum
+			for _, b := range h.Buckets {
+				// Buckets are [Lo, Hi); the inclusive upper bound is Hi-1
+				// (the zero bucket holds only 0).
+				hi := uint64(0)
+				if b.Hi > 0 {
+					hi = b.Hi - 1
+				}
+				merged[hi] += b.Count
+			}
+		}
+		bounds := make([]uint64, 0, len(merged))
+		for b := range merged {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+		var cum uint64
+		for _, b := range bounds {
+			cum += merged[b]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m, b, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m, totalCount)
+		for _, mem := range members {
+			if h, ok := mem.snap.Histograms[name]; ok {
+				fmt.Fprintf(bw, "%s_sum%s %d\n", m, label(mem.name), h.Sum)
+			}
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n", m, totalSum)
+		for _, mem := range members {
+			if h, ok := mem.snap.Histograms[name]; ok {
+				fmt.Fprintf(bw, "%s_count%s %d\n", m, label(mem.name), h.Count)
+			}
+		}
+		fmt.Fprintf(bw, "%s_count %d\n", m, totalCount)
+	}
+}

@@ -65,6 +65,12 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	return bw.Flush()
 }
 
+// PromName maps a dotted registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:] with a gmap_ namespace prefix. Exported so
+// out-of-package renderers (the fleet federation surface) emit the same
+// names as the local /metrics exposition.
+func PromName(name string) string { return promName(name) }
+
 // promName maps a dotted registry name onto the Prometheus metric-name
 // alphabet [a-zA-Z0-9_:] with a gmap_ namespace prefix.
 func promName(name string) string {

@@ -3,9 +3,13 @@
 // `gmap-sim -serve`. Endpoints:
 //
 //	/metrics       Prometheus text rendered from a Registry snapshot
+//	/metrics.json  the full registry snapshot as JSON (the federation
+//	               scrape format: lossless, unlike the prom text)
 //	/progress      JSON mirror of the execution engine's live stats
 //	/trace         the span log as a JSONL event stream
 //	/trace/chrome  the span log as Chrome trace-event JSON (Perfetto)
+//	/healthz       liveness: 200 whenever the process serves at all
+//	/readyz        readiness: 200, or 503 with the Ready error's text
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // Every handler snapshots on request — nothing holds locks between
@@ -37,6 +41,11 @@ type Options struct {
 	// Progress, when non-nil, supplies the object served as /progress
 	// JSON. It is called per request and must be safe for concurrent use.
 	Progress func() interface{}
+	// Ready, when non-nil, backs /readyz: a nil return answers 200, an
+	// error answers 503 with the error text. Nil Ready means
+	// always-ready (liveness and readiness coincide). Called per
+	// request; must be safe for concurrent use.
+	Ready func() error
 }
 
 // Server is a live exposition server. It is the shared serving core of
@@ -56,9 +65,12 @@ func Handler(o Options) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "gmap exposition server\n\n"+
 			"/metrics       Prometheus text\n"+
+			"/metrics.json  registry snapshot JSON (federation scrape format)\n"+
 			"/progress      sweep progress JSON\n"+
 			"/trace         span log (JSONL)\n"+
 			"/trace/chrome  span log (Chrome trace JSON, load in Perfetto)\n"+
+			"/healthz       liveness\n"+
+			"/readyz        readiness\n"+
 			"/debug/pprof/  Go profiling\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +78,26 @@ func Handler(o Options) http.Handler {
 		if err := o.Registry.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Registry.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Ready != nil {
+			if err := o.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -101,7 +133,9 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	// Request-level latency/status instrumentation rides the same
+	// registry the mux exposes; with no registry the mux is untouched.
+	return httpserve.Instrument(o.Registry, "obs", mux)
 }
 
 // Start binds o.Addr and serves until ctx is cancelled (or Shutdown is

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -197,5 +198,75 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 	if err := s.Shutdown(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	// No Ready hook: liveness and readiness coincide.
+	h := Handler(testOptions())
+	for _, path := range []string{"/healthz", "/readyz"} {
+		res, body := get(t, h, path)
+		if res.StatusCode != http.StatusOK || body != "ok\n" {
+			t.Errorf("%s = %d %q, want 200 ok", path, res.StatusCode, body)
+		}
+	}
+
+	// A failing Ready hook flips /readyz to 503 but leaves /healthz 200.
+	o := testOptions()
+	o.Ready = func() error { return errNotReady }
+	h = Handler(o)
+	if res, _ := get(t, h, "/healthz"); res.StatusCode != http.StatusOK {
+		t.Errorf("healthz with failing Ready = %d, want 200", res.StatusCode)
+	}
+	res, body := get(t, h, "/readyz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz = %d, want 503", res.StatusCode)
+	}
+	if !strings.Contains(body, "ledger not open") {
+		t.Errorf("readyz body %q does not carry the Ready error", body)
+	}
+}
+
+var errNotReady = errors.New("ledger not open")
+
+func TestMetricsJSONScrapeFormat(t *testing.T) {
+	h := Handler(testOptions())
+	res, body := get(t, h, "/metrics.json")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["runner.jobs_done"] != 3 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+
+	// Nil registry still serves a valid (empty) snapshot document.
+	res, body = get(t, Handler(Options{}), "/metrics.json")
+	if res.StatusCode != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Fatalf("nil-registry metrics.json = %d %q", res.StatusCode, body)
+	}
+}
+
+func TestRequestInstrumentation(t *testing.T) {
+	o := testOptions()
+	h := Handler(o)
+	get(t, h, "/metrics")
+	get(t, h, "/healthz")
+	get(t, h, "/no/such/path")
+	snap := o.Registry.Snapshot()
+	if got := snap.Counters["http.obs.requests"]; got != 3 {
+		t.Errorf("http.obs.requests = %d, want 3", got)
+	}
+	if got := snap.Counters["http.obs.status.2xx"]; got != 2 {
+		t.Errorf("http.obs.status.2xx = %d, want 2", got)
+	}
+	if got := snap.Counters["http.obs.status.4xx"]; got != 1 {
+		t.Errorf("http.obs.status.4xx = %d, want 1", got)
+	}
+	if hs, ok := snap.Histograms["http.obs.latency_ns"]; !ok || hs.Count != 3 {
+		t.Errorf("http.obs.latency_ns = %+v", hs)
 	}
 }

@@ -1,0 +1,325 @@
+// Cross-process span propagation: the wire form of "this work belongs
+// under that span over there".
+//
+// A SpanContext names one span globally — a 128-bit trace id shared by
+// every process contributing to one distributed operation, plus the
+// span's own 64-bit id — and serializes as a W3C-traceparent-style
+// header ("00-<32 hex trace id>-<16 hex span id>-01"). The dist layer
+// carries it inside lease grants: the coordinator opens a lease span,
+// exports its context into the grant, and the worker begins its own
+// span as a RemoteChild of that context. Each process still owns its
+// private bounded event log; WriteMergedChrome stitches the logs into
+// one multi-process Chrome trace where the trace id and remote-parent
+// attributes let a viewer (or a test) correlate worker spans back to
+// the coordinator spans that caused them.
+//
+// Everything here preserves the nil contract: a nil tracer's
+// RemoteChild is nil, a nil span's Context is the zero SpanContext and
+// the zero SpanContext's Traceparent is "" — so a worker running
+// without tracing ships empty headers and drops incoming ones at a
+// single predictable branch.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// SpanContext identifies one span for cross-process parenting.
+type SpanContext struct {
+	// TraceID is the distributed trace's id: 32 lowercase hex chars,
+	// shared by every span of one distributed operation.
+	TraceID string
+	// SpanID is the identified span's id inside its own tracer.
+	SpanID uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool {
+	return validTraceID(sc.TraceID) && sc.SpanID != 0
+}
+
+// Traceparent renders the context as a traceparent-style header value:
+// "00-<trace id>-<16 hex span id>-01". An invalid context renders "",
+// which ParseTraceparent rejects — so round-tripping a disabled
+// tracer's context stays a no-op.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", sc.TraceID, sc.SpanID)
+}
+
+// ParseTraceparent parses a Traceparent header value back into a
+// SpanContext. Unknown versions are accepted as long as the field
+// shapes match (forward compatibility, as in W3C trace context).
+func ParseTraceparent(s string) (SpanContext, error) {
+	// version(2) - traceid(32) - spanid(16) - flags(2)
+	if len(s) != 2+1+32+1+16+1+2 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, fmt.Errorf("trace: malformed traceparent %q", s)
+	}
+	if !isHex(s[:2]) || !isHex(s[53:]) {
+		return SpanContext{}, fmt.Errorf("trace: malformed traceparent %q", s)
+	}
+	tid := s[3:35]
+	if !validTraceID(tid) {
+		return SpanContext{}, fmt.Errorf("trace: bad trace id in %q", s)
+	}
+	sid, err := strconv.ParseUint(s[36:52], 16, 64)
+	if err != nil || sid == 0 {
+		return SpanContext{}, fmt.Errorf("trace: bad span id in %q", s)
+	}
+	return SpanContext{TraceID: tid, SpanID: sid}, nil
+}
+
+// validTraceID reports whether id is 32 lowercase hex chars and not
+// all-zero.
+func validTraceID(id string) bool {
+	if len(id) != 32 || !isHex(id) {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// randomTraceID draws a fresh 128-bit trace id. crypto/rand failing is
+// effectively impossible; the fallback derives an id from the clock so
+// a tracer is never left without one.
+func randomTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(b[8:], ^uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID is the tracer's distributed trace id ("" for nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// AdoptTraceID joins the tracer to an existing distributed trace: its
+// spans' contexts export under id from now on. Invalid ids are ignored
+// — a worker handed a garbage grant keeps its own trace rather than
+// corrupting the merge key.
+func (t *Tracer) AdoptTraceID(id string) {
+	if t == nil || !validTraceID(id) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traceID = id
+}
+
+// Context exports the span's identity for cross-process parenting; the
+// zero SpanContext for nil.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return SpanContext{TraceID: s.t.traceID, SpanID: s.id}
+}
+
+// RemoteChild begins a span whose parent lives in another process: a
+// top-level span on a fresh track (its local Parent is 0) that records
+// sc's trace id and span id as the event's trace_id / remote_parent,
+// the linkage a merged export correlates on. The tracer adopts sc's
+// trace id. An invalid sc degrades to a plain Root span, so a worker
+// leased by a coordinator that is not tracing still traces locally.
+func (t *Tracer) RemoteChild(sc SpanContext, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTrack++
+	s := t.begin(name, 0, t.nextTrack, attrs)
+	if sc.Valid() {
+		t.traceID = sc.TraceID
+		s.remoteTrace = sc.TraceID
+		s.remoteParent = sc.SpanID
+	}
+	return s
+}
+
+// SetDefaultParent makes subsequent Root spans children of s (each
+// still on its own fresh track); nil restores top-level roots. A
+// worker sets the lease span as default parent around a shard run so
+// the eval pipeline's own root spans nest under the lease without the
+// pipeline knowing anything about distribution.
+func (t *Tracer) SetDefaultParent(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.defParent = s
+}
+
+// ReadJSONL parses a WriteJSONL stream back into events, preserving
+// attribute order and numeric formatting (attrs round-trip through
+// json.Number, so re-exporting parsed events is lossless for integer
+// values). Blank lines are skipped; a malformed line fails the whole
+// read with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", lineNo, err)
+		}
+		e := Event{
+			ID: je.ID, Parent: je.Parent, Track: je.Track, Name: je.Name,
+			Instant: je.Instant, StartUS: je.StartUS, DurUS: je.DurUS,
+			TraceID: je.TraceID, RemoteParent: je.RemoteParent,
+		}
+		if je.StartCycle != nil || je.EndCycle != nil {
+			e.HasCycles = true
+			if je.StartCycle != nil {
+				e.StartCycle = *je.StartCycle
+			}
+			if je.EndCycle != nil {
+				e.EndCycle = *je.EndCycle
+			}
+		}
+		attrs, err := parseAttrs(je.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", lineNo, err)
+		}
+		e.Attrs = attrs
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading jsonl: %w", err)
+	}
+	return events, nil
+}
+
+// parseAttrs decodes an exported attrs object back into ordered Attrs.
+// Cycle-window keys written by argsJSON are folded back out by the
+// caller's event fields, so they are kept as plain attrs here only if
+// the producer put them there explicitly — ReadJSONL events re-export
+// byte-identically either way because argsJSON re-renders in order.
+func parseAttrs(raw json.RawMessage) ([]Attr, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("attrs is not an object")
+	}
+	var attrs []Attr
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		key, ok := kt.(string)
+		if !ok {
+			return nil, fmt.Errorf("attrs key is not a string")
+		}
+		vt, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Key: key, Value: vt})
+	}
+	if _, err := dec.Token(); err != nil {
+		return nil, err
+	}
+	return attrs, nil
+}
+
+// Process is one contributor to a merged multi-process export: a
+// display name and its (already exported or collected) events.
+type Process struct {
+	Name   string
+	Events []Event
+}
+
+// WriteMergedChrome stitches several processes' span logs into one
+// Chrome trace-event JSON document: process i renders under pid i+1
+// with a process_name metadata record, so Perfetto shows the whole
+// distributed sweep — coordinator and every worker — on one timeline.
+// Cross-process parent links ride each event's trace_id/remote_parent
+// args. Events are sorted per process exactly as Tracer.Events sorts.
+func WriteMergedChrome(w io.Writer, procs []Process) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	var lines []string
+	for i, p := range procs {
+		pid := i + 1
+		name, err := json.Marshal(p.Name)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, fmt.Sprintf(
+			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`, pid, name))
+		events := append([]Event(nil), p.Events...)
+		sortEvents(events)
+		for _, e := range events {
+			line, err := chromeLine(e, pid)
+			if err != nil {
+				return err
+			}
+			lines = append(lines, line)
+		}
+	}
+	for i, line := range lines {
+		if i < len(lines)-1 {
+			line += ","
+		}
+		if _, err := bw.WriteString(line + "\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testTraceID = "0123456789abcdef0123456789abcdef"
+
+// fixedClock returns a deterministic Now stepping 1ms per call.
+func fixedClock() func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: testTraceID, SpanID: 0xdeadbeef}
+	h := sc.Traceparent()
+	if want := "00-" + testTraceID + "-00000000deadbeef-01"; h != want {
+		t.Fatalf("Traceparent = %q, want %q", h, want)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip = %+v, want %+v", got, sc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-" + testTraceID + "-0000000000000000-01",              // zero span id
+		"00-00000000000000000000000000000000-00000000deadbeef-01", // zero trace id
+		"00-" + strings.ToUpper(testTraceID) + "-00000000deadbeef-01",
+		"00-" + testTraceID + "-00000000deadbee-01", // short span id
+		"xx-" + testTraceID + "-00000000deadbeef-01",
+		"00_" + testTraceID + "-00000000deadbeef-01",
+	}
+	for _, s := range bad {
+		if sc, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) = %+v, want error", s, sc)
+		}
+	}
+}
+
+func TestNilContextPropagation(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("x")
+	if got := s.Context(); got.Valid() {
+		t.Fatalf("nil span context = %+v, want invalid", got)
+	}
+	if h := s.Context().Traceparent(); h != "" {
+		t.Fatalf("nil span traceparent = %q, want empty", h)
+	}
+	if rc := tr.RemoteChild(SpanContext{}, "y"); rc != nil {
+		t.Fatalf("nil tracer RemoteChild = %v, want nil", rc)
+	}
+	tr.SetDefaultParent(nil) // must not panic
+	tr.AdoptTraceID(testTraceID)
+	if id := tr.TraceID(); id != "" {
+		t.Fatalf("nil tracer TraceID = %q, want empty", id)
+	}
+}
+
+func TestRemoteChildLinkage(t *testing.T) {
+	coord := NewWithOptions(Options{Now: fixedClock(), TraceID: testTraceID})
+	sweep := coord.Root("dist.sweep")
+	lease := sweep.ChildTrack("dist.lease", String("lease", "lease-1-0001"))
+	sc := lease.Context()
+	if sc.TraceID != testTraceID {
+		t.Fatalf("lease context trace id = %q", sc.TraceID)
+	}
+
+	// The worker side: its own tracer, parented through the wire form.
+	wrk := NewWithOptions(Options{Now: fixedClock()})
+	parsed, err := ParseTraceparent(sc.Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := wrk.RemoteChild(parsed, "dist.worker.lease")
+	if got := wrk.TraceID(); got != testTraceID {
+		t.Fatalf("worker tracer did not adopt trace id: %q", got)
+	}
+	wrk.SetDefaultParent(ws)
+	job := wrk.Root("eval.fig6a")
+	job.End()
+	wrk.SetDefaultParent(nil)
+	after := wrk.Root("other")
+	after.End()
+	ws.End()
+
+	events := wrk.Events()
+	byName := map[string]Event{}
+	for _, e := range events {
+		byName[e.Name] = e
+	}
+	we := byName["dist.worker.lease"]
+	if we.TraceID != testTraceID || we.RemoteParent != sc.SpanID {
+		t.Fatalf("worker lease event linkage = (%q, %d), want (%q, %d)",
+			we.TraceID, we.RemoteParent, testTraceID, sc.SpanID)
+	}
+	if je := byName["eval.fig6a"]; je.Parent != we.ID {
+		t.Fatalf("eval root parent = %d, want lease span %d", je.Parent, we.ID)
+	}
+	if oe := byName["other"]; oe.Parent != 0 {
+		t.Fatalf("post-clear root parent = %d, want 0", oe.Parent)
+	}
+
+	// Local spans must not leak remote fields into exports.
+	lease.End()
+	sweep.End()
+	for _, e := range coord.Events() {
+		if e.TraceID != "" || e.RemoteParent != 0 {
+			t.Fatalf("local event %q carries remote linkage %+v", e.Name, e)
+		}
+	}
+}
+
+func TestRemoteChildInvalidContextIsRoot(t *testing.T) {
+	tr := NewWithOptions(Options{Now: fixedClock(), TraceID: testTraceID})
+	s := tr.RemoteChild(SpanContext{}, "lease")
+	s.End()
+	e := tr.Events()[0]
+	if e.TraceID != "" || e.RemoteParent != 0 || e.Parent != 0 {
+		t.Fatalf("invalid-context RemoteChild event = %+v, want plain root", e)
+	}
+	if tr.TraceID() != testTraceID {
+		t.Fatalf("tracer trace id clobbered: %q", tr.TraceID())
+	}
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	tr := NewWithOptions(Options{Now: fixedClock(), TraceID: testTraceID})
+	root := tr.Root("sweep", String("experiment", "fig6a"), Int("jobs", 30))
+	child := tr.RemoteChild(SpanContext{TraceID: testTraceID, SpanID: 7}, "lease", Float("f", 1.5))
+	child.SetCycles(10, 20)
+	child.End()
+	root.End()
+	tr.Instant("marker", String("k", "v"))
+
+	var out bytes.Buffer
+	if err := tr.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(events))
+	}
+
+	// Re-exporting the parsed events must reproduce the original stream:
+	// attribute order and remote linkage survive the round trip.
+	reexport := func(events []Event) string {
+		var buf bytes.Buffer
+		for _, e := range events {
+			je := jsonlEvent{
+				ID: e.ID, Parent: e.Parent, Track: e.Track, Name: e.Name,
+				Instant: e.Instant, StartUS: e.StartUS, DurUS: e.DurUS,
+				TraceID: e.TraceID, RemoteParent: e.RemoteParent,
+			}
+			if e.HasCycles {
+				sc, ec := e.StartCycle, e.EndCycle
+				je.StartCycle, je.EndCycle = &sc, &ec
+			}
+			if len(e.Attrs) > 0 {
+				args, err := argsJSON(Event{Attrs: e.Attrs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				je.Attrs = args
+			}
+			line, err := json.Marshal(je)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(append(line, '\n'))
+		}
+		return buf.String()
+	}
+	if got := reexport(events); got != out.String() {
+		t.Fatalf("re-export differs:\n--- got ---\n%s--- want ---\n%s", got, out.String())
+	}
+}
+
+func TestWriteMergedChrome(t *testing.T) {
+	coord := NewWithOptions(Options{Now: fixedClock(), TraceID: testTraceID})
+	sweep := coord.Root("dist.sweep")
+	lease := sweep.ChildTrack("dist.lease")
+	sc := lease.Context()
+
+	wrk := NewWithOptions(Options{Now: fixedClock()})
+	ws := wrk.RemoteChild(sc, "dist.worker.lease", String("worker", "w0"))
+	ws.End()
+	lease.End()
+	sweep.End()
+
+	var buf bytes.Buffer
+	err := WriteMergedChrome(&buf, []Process{
+		{Name: "coordinator", Events: coord.Events()},
+		{Name: "worker w0", Events: wrk.Events()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("merged export is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			PH   string                 `json:"ph"`
+			PID  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var metas, workers int
+	for _, e := range doc.TraceEvents {
+		if e.PH == "M" && e.Name == "process_name" {
+			metas++
+		}
+		if e.Name == "dist.worker.lease" {
+			workers++
+			if e.PID != 2 {
+				t.Errorf("worker event pid = %d, want 2", e.PID)
+			}
+			if e.Args["trace_id"] != testTraceID {
+				t.Errorf("worker event trace_id = %v", e.Args["trace_id"])
+			}
+			if e.Args["remote_parent"] == nil {
+				t.Errorf("worker event missing remote_parent: %v", e.Args)
+			}
+		}
+	}
+	if metas != 2 || workers != 1 {
+		t.Fatalf("merged export has %d process metas, %d worker spans; want 2, 1", metas, workers)
+	}
+}
+
+// TestDropCounterConcurrent hammers a tiny-capped tracer from many
+// goroutines: the retained count must saturate exactly at the cap and
+// every overflow must land in Dropped — no lost updates, no overshoot.
+func TestDropCounterConcurrent(t *testing.T) {
+	const (
+		capEvents  = 64
+		writers    = 8
+		perWriter  = 100
+		totalSpans = writers * perWriter
+	)
+	tr := NewWithOptions(Options{Cap: capEvents})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s := tr.Root("span", Int("writer", int64(w)), Int("i", int64(i)))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != capEvents {
+		t.Errorf("Len = %d, want cap %d", got, capEvents)
+	}
+	if got := tr.Dropped(); got != totalSpans-capEvents {
+		t.Errorf("Dropped = %d, want %d", got, totalSpans-capEvents)
+	}
+	// The export must still be well-formed after saturation.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("saturated chrome export is not valid JSON")
+	}
+}

@@ -95,6 +95,14 @@ type Event struct {
 	HasCycles  bool   `json:"-"`
 	StartCycle uint64 `json:"start_cycle,omitempty"`
 	EndCycle   uint64 `json:"end_cycle,omitempty"`
+	// TraceID and RemoteParent link a span begun via RemoteChild to a
+	// parent in another process (propagate.go): TraceID is the
+	// distributed trace the span belongs to, RemoteParent the foreign
+	// parent span's id. Both are zero for purely local spans, so exports
+	// of single-process traces are byte-identical to before propagation
+	// existed.
+	TraceID      string `json:"trace_id,omitempty"`
+	RemoteParent uint64 `json:"remote_parent,omitempty"`
 	// Attrs are the span's attributes in the order they were added.
 	Attrs []Attr `json:"-"`
 }
@@ -106,6 +114,10 @@ type Options struct {
 	// Now supplies wall timestamps; nil selects time.Now. Tests inject a
 	// deterministic clock so exports are golden-comparable.
 	Now func() time.Time
+	// TraceID fixes the tracer's distributed trace id (32 lowercase hex
+	// chars); empty generates a random one. Tests pin it so span-context
+	// headers are golden-comparable.
+	TraceID string
 }
 
 // Tracer collects ended spans. The nil Tracer is the disabled
@@ -115,6 +127,8 @@ type Tracer struct {
 	now       func() time.Time
 	start     time.Time
 	cap       int
+	traceID   string
+	defParent *Span // Root() parents under this span when set (propagate.go)
 	events    []Event
 	dropped   uint64
 	nextID    uint64
@@ -132,7 +146,10 @@ func NewWithOptions(o Options) *Tracer {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
-	return &Tracer{now: o.Now, start: o.Now(), cap: o.Cap}
+	if !validTraceID(o.TraceID) {
+		o.TraceID = randomTraceID()
+	}
+	return &Tracer{now: o.Now, start: o.Now(), cap: o.Cap, traceID: o.TraceID}
 }
 
 // Enabled reports whether the tracer records anything.
@@ -140,20 +157,24 @@ func (t *Tracer) Enabled() bool { return t != nil }
 
 // Span is one open unit of traced work. The nil Span is a no-op.
 type Span struct {
-	t          *Tracer
-	id, parent uint64
-	track      int
-	name       string
-	startWall  time.Time
-	attrs      []Attr
-	hasCycles  bool
-	startCycle uint64
-	endCycle   uint64
-	ended      bool
+	t            *Tracer
+	id, parent   uint64
+	track        int
+	name         string
+	startWall    time.Time
+	attrs        []Attr
+	hasCycles    bool
+	startCycle   uint64
+	endCycle     uint64
+	remoteTrace  string
+	remoteParent uint64
+	ended        bool
 }
 
 // Root begins a top-level span on a fresh timeline track; nil for the nil
-// tracer.
+// tracer. When a default parent is installed (SetDefaultParent) the span
+// nests under it instead — that is how a worker's eval spans end up under
+// the lease span the coordinator's grant parented.
 func (t *Tracer) Root(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
@@ -161,6 +182,9 @@ func (t *Tracer) Root(name string, attrs ...Attr) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextTrack++
+	if dp := t.defParent; dp != nil && !dp.ended {
+		return t.begin(name, dp.id, t.nextTrack, attrs)
+	}
 	return t.begin(name, 0, t.nextTrack, attrs)
 }
 
@@ -240,16 +264,18 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	e := Event{
-		ID:         s.id,
-		Parent:     s.parent,
-		Track:      s.track,
-		Name:       s.name,
-		StartUS:    float64(s.startWall.Sub(s.t.start)) / float64(time.Microsecond),
-		DurUS:      float64(s.t.now().Sub(s.startWall)) / float64(time.Microsecond),
-		HasCycles:  s.hasCycles,
-		StartCycle: s.startCycle,
-		EndCycle:   s.endCycle,
-		Attrs:      s.attrs,
+		ID:           s.id,
+		Parent:       s.parent,
+		Track:        s.track,
+		Name:         s.name,
+		StartUS:      float64(s.startWall.Sub(s.t.start)) / float64(time.Microsecond),
+		DurUS:        float64(s.t.now().Sub(s.startWall)) / float64(time.Microsecond),
+		HasCycles:    s.hasCycles,
+		StartCycle:   s.startCycle,
+		EndCycle:     s.endCycle,
+		TraceID:      s.remoteTrace,
+		RemoteParent: s.remoteParent,
+		Attrs:        s.attrs,
 	}
 	s.t.record(e)
 }
@@ -311,13 +337,18 @@ func (t *Tracer) Events() []Event {
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
 	t.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].StartUS != out[j].StartUS {
-			return out[i].StartUS < out[j].StartUS
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortEvents(out)
 	return out
+}
+
+// sortEvents orders events by (start, id) — the export order.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].StartUS != events[j].StartUS {
+			return events[i].StartUS < events[j].StartUS
+		}
+		return events[i].ID < events[j].ID
+	})
 }
 
 // argsJSON renders an event's attributes (plus its cycle window) as a
@@ -357,6 +388,16 @@ func argsJSON(e Event) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if e.TraceID != "" {
+		if err := put("trace_id", e.TraceID); err != nil {
+			return nil, err
+		}
+	}
+	if e.RemoteParent != 0 {
+		if err := put("remote_parent", e.RemoteParent); err != nil {
+			return nil, err
+		}
+	}
 	b = append(b, '}')
 	return b, nil
 }
@@ -379,20 +420,10 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 	events := t.Events()
 	for i, e := range events {
-		args, err := argsJSON(e)
+		line, err := chromeLine(e, 1)
 		if err != nil {
 			return err
 		}
-		name, err := json.Marshal(e.Name)
-		if err != nil {
-			return err
-		}
-		ph, extra := "X", `,"dur":`+fmtUS(e.DurUS)
-		if e.Instant {
-			ph, extra = "i", `,"s":"t"`
-		}
-		line := fmt.Sprintf(`{"name":%s,"cat":"gmap","ph":%q,"ts":%s,"pid":1,"tid":%d%s,"args":%s}`,
-			name, ph, fmtUS(e.StartUS), e.Track, extra, args)
 		if i < len(events)-1 {
 			line += ","
 		}
@@ -406,18 +437,40 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	return bw.Flush()
 }
 
+// chromeLine renders one event as a Chrome trace-event object under the
+// given pid (process lane). Shared by WriteChrome (always pid 1) and the
+// merged multi-process export (propagate.go).
+func chromeLine(e Event, pid int) (string, error) {
+	args, err := argsJSON(e)
+	if err != nil {
+		return "", err
+	}
+	name, err := json.Marshal(e.Name)
+	if err != nil {
+		return "", err
+	}
+	ph, extra := "X", `,"dur":`+fmtUS(e.DurUS)
+	if e.Instant {
+		ph, extra = "i", `,"s":"t"`
+	}
+	return fmt.Sprintf(`{"name":%s,"cat":"gmap","ph":%q,"ts":%s,"pid":%d,"tid":%d%s,"args":%s}`,
+		name, ph, fmtUS(e.StartUS), pid, e.Track, extra, args), nil
+}
+
 // jsonlEvent is the JSONL wire form of one event.
 type jsonlEvent struct {
-	ID         uint64          `json:"id"`
-	Parent     uint64          `json:"parent,omitempty"`
-	Track      int             `json:"track"`
-	Name       string          `json:"name"`
-	Instant    bool            `json:"instant,omitempty"`
-	StartUS    float64         `json:"start_us"`
-	DurUS      float64         `json:"dur_us"`
-	StartCycle *uint64         `json:"start_cycle,omitempty"`
-	EndCycle   *uint64         `json:"end_cycle,omitempty"`
-	Attrs      json.RawMessage `json:"attrs,omitempty"`
+	ID           uint64          `json:"id"`
+	Parent       uint64          `json:"parent,omitempty"`
+	Track        int             `json:"track"`
+	Name         string          `json:"name"`
+	Instant      bool            `json:"instant,omitempty"`
+	StartUS      float64         `json:"start_us"`
+	DurUS        float64         `json:"dur_us"`
+	StartCycle   *uint64         `json:"start_cycle,omitempty"`
+	EndCycle     *uint64         `json:"end_cycle,omitempty"`
+	TraceID      string          `json:"trace_id,omitempty"`
+	RemoteParent uint64          `json:"remote_parent,omitempty"`
+	Attrs        json.RawMessage `json:"attrs,omitempty"`
 }
 
 // WriteJSONL exports the log as JSON Lines — one structured event object
@@ -429,6 +482,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		je := jsonlEvent{
 			ID: e.ID, Parent: e.Parent, Track: e.Track, Name: e.Name,
 			Instant: e.Instant, StartUS: e.StartUS, DurUS: e.DurUS,
+			TraceID: e.TraceID, RemoteParent: e.RemoteParent,
 		}
 		if e.HasCycles {
 			sc, ec := e.StartCycle, e.EndCycle

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -109,6 +110,9 @@ type Service struct {
 	o  Options
 	st *store.Store
 	q  *queue.Queue
+	// fleet, when non-nil, is mounted under /fleet/ on the service mux
+	// (set with SetFleet before Handler/Start).
+	fleet http.Handler
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
@@ -170,6 +174,21 @@ func (s *Service) Start(ctx context.Context) error {
 
 // Wait blocks until the queue has drained after context cancellation.
 func (s *Service) Wait() { s.q.Wait() }
+
+// SetFleet mounts h under /fleet/ on the service mux: the metrics
+// federation and fleet status surface when the service fronts a
+// distributed sweep fabric (-dist-sweeps). Call before Handler/Start.
+func (s *Service) SetFleet(h http.Handler) { s.fleet = h }
+
+// ready backs /readyz: the service is ready while its admission queue
+// still accepts submissions. Liveness (/healthz) stays 200 regardless,
+// so a draining replica is distinguishable from a dead one.
+func (s *Service) ready() error {
+	if !s.q.Accepting() {
+		return errors.New("job queue closed")
+	}
+	return nil
+}
 
 // Queue exposes queue statistics for admission feedback.
 func (s *Service) Queue() *queue.Queue { return s.q }

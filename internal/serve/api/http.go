@@ -11,6 +11,7 @@ import (
 
 	obsserve "github.com/uteda/gmap/internal/obs/serve"
 	"github.com/uteda/gmap/internal/profiler"
+	httpserve "github.com/uteda/gmap/internal/serve"
 	"github.com/uteda/gmap/internal/serve/queue"
 	"github.com/uteda/gmap/internal/serve/store"
 	"github.com/uteda/gmap/internal/trace"
@@ -44,12 +45,18 @@ func (s *Service) Handler() http.Handler {
 		// whichever sweep's coordinator is live (503 when none is).
 		mux.Handle("/dist/v1/", d.Handler())
 	}
+	if s.fleet != nil {
+		// Metrics federation and fleet status, live only when the service
+		// fronts a distributed fabric (SetFleet).
+		mux.Handle("/fleet/", s.fleet)
+	}
 	mux.Handle("/", obsserve.Handler(obsserve.Options{
 		Registry: s.o.Obs,
 		Tracer:   s.o.Tracer,
 		Progress: s.progressSnapshot,
+		Ready:    s.ready,
 	}))
-	return mux
+	return httpserve.Instrument(s.o.Obs, "serve", mux)
 }
 
 // tenantOf resolves the request's tenant from the X-Gmap-Tenant header.

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/uteda/gmap/internal/obs"
+)
+
+// Instrument wraps an HTTP handler with request-level observability:
+// per-plane request/status-class counters and a latency histogram.
+// plane names the mux being wrapped ("dist", "serve", "obs") — metrics
+// are per-plane rather than per-path so instrumenting a surface can
+// never grow metric cardinality with traffic shape. Recorded metrics:
+//
+//	http.<plane>.requests            every completed request
+//	http.<plane>.status.<c>xx        responses by status class
+//	http.<plane>.latency_ns          handler wall time
+//
+// A nil registry returns h unchanged — the disabled path costs nothing,
+// matching the obs nil-receiver contract.
+func Instrument(reg *obs.Registry, plane string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	requests := reg.Counter("http." + plane + ".requests")
+	latency := reg.Histogram("http." + plane + ".latency_ns")
+	// Status classes are a fixed, tiny set; pre-resolving them keeps the
+	// per-request path to three atomic bumps and a clock read.
+	classes := [6]*obs.Counter{}
+	for c := 1; c <= 5; c++ {
+		classes[c] = reg.Counter(fmt.Sprintf("http.%s.status.%dxx", plane, c))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		requests.Inc()
+		if c := sw.code / 100; c >= 1 && c <= 5 {
+			classes[c].Inc()
+		}
+		latency.Observe(uint64(time.Since(start).Nanoseconds()))
+	})
+}
+
+// statusRecorder captures the response status code. A handler that
+// never calls WriteHeader implicitly answered 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+// Flush passes through so streaming handlers keep working when wrapped.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

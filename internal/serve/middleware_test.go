@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/uteda/gmap/internal/obs"
+)
+
+func TestInstrumentCountsByStatusClass(t *testing.T) {
+	reg := obs.New()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) // implicit 200
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	h := Instrument(reg, "dist", mux)
+	for _, path := range []string{"/ok", "/ok", "/boom", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["http.dist.requests"]; got != 4 {
+		t.Errorf("requests = %d, want 4", got)
+	}
+	if got := snap.Counters["http.dist.status.2xx"]; got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := snap.Counters["http.dist.status.4xx"]; got != 1 {
+		t.Errorf("4xx = %d, want 1", got)
+	}
+	if got := snap.Counters["http.dist.status.5xx"]; got != 1 {
+		t.Errorf("5xx = %d, want 1", got)
+	}
+	if hs := snap.Histograms["http.dist.latency_ns"]; hs.Count != 4 {
+		t.Errorf("latency count = %d, want 4", hs.Count)
+	}
+}
+
+func TestInstrumentNilRegistryIsPassThrough(t *testing.T) {
+	// With no registry the original handler comes back untouched — the
+	// disabled path adds zero wrapping, matching the obs nil contract.
+	base := http.NewServeMux()
+	if got := Instrument(nil, "dist", base); got != http.Handler(base) {
+		t.Fatalf("Instrument(nil) wrapped the handler: %T", got)
+	}
+}

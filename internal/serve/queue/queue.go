@@ -224,6 +224,15 @@ func (q *Queue) Stats() Stats {
 	return Stats{Queued: q.queued, Running: q.running, Workers: q.workers, Depth: q.depth}
 }
 
+// Accepting reports whether Submit can still admit work — false once
+// the queue's context has been cancelled. Backs the service's readiness
+// probe: a draining process answers /healthz but not /readyz.
+func (q *Queue) Accepting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed
+}
+
 // pickLocked pops the next job under stride scheduling: the backlogged
 // tenant with the smallest pass, ties broken by name. Cancelled heads
 // are pruned without being counted. Returns nil when nothing runnable

@@ -78,6 +78,39 @@ wait_exit() {
     done
 }
 
+# check_observability BASE COORD_PID — probe the live coordinator's
+# health and fleet surfaces: /healthz and /readyz must answer ok,
+# /fleet/status must eventually list a live (non-stale) worker, and
+# /fleet/metrics must carry worker-labeled samples. The sweep keeps
+# running underneath, so the poll fails fast (with the last good
+# status body) if the coordinator finishes and exits before a live
+# worker ever showed up.
+check_observability() {
+    curl -sSf "$1/healthz" | grep -q ok || fail "coordinator /healthz did not answer ok"
+    curl -sSf "$1/readyz"  | grep -q ok || fail "coordinator /readyz did not answer ok"
+    start=$(date +%s)
+    while :; do
+        if curl -sSf "$1/fleet/status" >"$WORK/fleet.tmp" 2>/dev/null; then
+            mv "$WORK/fleet.tmp" "$WORK/fleet.json"
+            # The status body is indented JSON: tolerate the space
+            # after the colon.
+            if grep -q '"stale": *false' "$WORK/fleet.json"; then
+                break
+            fi
+        elif ! kill -0 "$2" 2>/dev/null; then
+            fail "coordinator exited before /fleet/status listed a live worker: $(cat "$WORK/fleet.json" 2>/dev/null)"
+        fi
+        [ $(($(date +%s) - start)) -lt "$DEADLINE" ] || \
+            fail "/fleet/status never listed a live worker: $(cat "$WORK/fleet.json" 2>/dev/null)"
+        sleep 0.1
+    done
+    grep -q '"name": *"' "$WORK/fleet.json" || fail "/fleet/status lists no workers"
+    curl -sSf "$1/fleet/metrics" >"$WORK/fleet_metrics.txt"
+    grep -q '{worker="' "$WORK/fleet_metrics.txt" || \
+        fail "/fleet/metrics carries no worker-labeled samples: $(head "$WORK/fleet_metrics.txt")"
+    echo "==> observability OK: healthz, readyz, $(grep -c '"stale": *false' "$WORK/fleet.json") live fleet worker(s), labeled metrics"
+}
+
 echo "==> building binaries into $BIN"
 go build -o "$BIN/gmap-eval" ./cmd/gmap-eval
 
@@ -93,7 +126,7 @@ echo "==> phase 1: starting coordinator on an ephemeral port"
 # shellcheck disable=SC2086
 "$BIN/gmap-eval" $SWEEP_FLAGS \
     -dist-listen 127.0.0.1:0 -dist-addr-file "$ADDR_FILE" \
-    -dist-parts 4 -dist-lease-ttl 2s \
+    -dist-parts 4 -dist-lease-ttl 2s -fleet-interval 250ms \
     -checkpoint "$WORK/ledger.jsonl" -out "$WORK/dist.txt" \
     2>"$WORK/coord.log" &
 COORD_PID=$!
@@ -104,13 +137,14 @@ wait_file "$ADDR_FILE" "coordinator never published its address"
 BASE=$(read_base "$ADDR_FILE")
 echo "==> coordinator is at $BASE"
 
-echo "==> starting two workers"
-"$BIN/gmap-eval" -worker "$BASE" -workers 1 -quiet 2>"$WORK/w1.log" &
+echo "==> starting two workers (with -serve: they join the fleet)"
+"$BIN/gmap-eval" -worker "$BASE" -serve 127.0.0.1:0 -workers 1 -quiet 2>"$WORK/w1.log" &
 W1_PID=$!
-"$BIN/gmap-eval" -worker "$BASE" -workers 1 -quiet 2>"$WORK/w2.log" &
+"$BIN/gmap-eval" -worker "$BASE" -serve 127.0.0.1:0 -workers 1 -quiet 2>"$WORK/w2.log" &
 W2_PID=$!
 
 wait_mid_sweep "$BASE"
+check_observability "$BASE" "$COORD_PID"
 echo "==> mid-epoch ($DONE/$TOTAL jobs merged): kill -9 worker 1 (pid $W1_PID)"
 kill -9 "$W1_PID"
 wait "$W1_PID" 2>/dev/null || true
